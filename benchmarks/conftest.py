@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures, prints the
+rows/series the paper reports, and asserts the qualitative *shape* (who
+wins, by roughly what factor).  Results are cached under ``.cache/``; the
+first run at a given scale pays the simulation cost, later runs replay.
+
+Select the scale with ``REPRO_SCALE`` (small / bench / full); ``bench`` is
+the default.
+"""
+
+import pytest
+
+from repro.experiments.common import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def print_report(text: str) -> None:
+    """Print a figure/table report, visibly separated in pytest output."""
+    print()
+    print("=" * 78)
+    print(text)
+    print("=" * 78)

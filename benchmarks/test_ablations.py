@@ -1,0 +1,22 @@
+"""Ablations — the marginal value of each methodology ingredient."""
+
+from conftest import print_report
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, scale):
+    result = benchmark.pedantic(ablations.run, args=(scale,), rounds=1, iterations=1)
+    print_report(ablations.report(result))
+
+    # Sharding matters: monolithic application profiles are worse (§2.1).
+    assert result.monolithic_error >= result.baseline_error
+    # The log response scale matters for multiplicative performance metrics.
+    assert result.identity_response_error > result.baseline_error
+    # Variance stabilization must at least not hurt (its main benefit is
+    # robustness to long-tailed profiles, which interpolation under-samples).
+    assert result.unstabilized_error < 1.5 * result.baseline_error
+
+    # §4.5: synthetic coverage benchmarks, coordinated with real profiles
+    # via re-specification, substantially improve outlier extrapolation.
+    assert result.outlier_error_augmented < 0.75 * result.outlier_error_plain

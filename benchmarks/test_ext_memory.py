@@ -1,0 +1,30 @@
+"""Extension — do memory-behavior characteristics (x14..x17) pay off?
+
+An honest experimental question rather than a foregone conclusion: the
+paper *suggests* memory-bound workloads "may require" such parameters
+(§4.1, §7).  In this substrate the answer is mixed — extra behavioral
+dimensions add signal but also widen the space a leave-one-out newcomer
+can fall outside of (the §4.5 coverage problem) — so the assertions below
+are structural and the numbers are reported for the record.
+"""
+
+import numpy as np
+from conftest import print_report
+
+from repro.experiments import ext_memory
+
+
+def test_ext_memory(benchmark, scale):
+    result = benchmark.pedantic(ext_memory.run, args=(scale,), rounds=1, iterations=1)
+    print_report(ext_memory.report(result))
+
+    for value in (
+        result.base_overall,
+        result.extended_overall,
+        *result.base_memory_bound.values(),
+        *result.extended_memory_bound.values(),
+    ):
+        assert np.isfinite(value) and value >= 0.0
+    # The extended space must remain in a usable band — the additions may
+    # not help, but they must not break the model.
+    assert result.extended_overall < 3.0 * max(result.base_overall, 0.05)

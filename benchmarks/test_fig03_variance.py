@@ -1,0 +1,20 @@
+"""Figure 3 — variance stabilization of long-tailed locality measures."""
+
+from conftest import print_report
+
+from repro.experiments import fig03_variance
+
+
+def test_fig03_variance(benchmark, scale):
+    result = benchmark.pedantic(
+        fig03_variance.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig03_variance.report(result))
+
+    # Shape: raw sums are strongly right-skewed; the power ladder fixes it.
+    assert result.raw_skewness > 1.0
+    assert abs(result.transformed_skewness) < 0.6 * result.raw_skewness
+    # The automatic ladder reaches for a strong root (paper uses 1/5).
+    assert result.chosen_power >= 3
+    # Outliers an order of magnitude above the common case.
+    assert result.tail_ratio > 5.0

@@ -1,0 +1,20 @@
+"""Figure 4 — interaction frequencies across the best models."""
+
+from conftest import print_report
+
+from repro.experiments import fig04_interactions
+
+
+def test_fig04_interactions(benchmark, scale):
+    result = benchmark.pedantic(
+        fig04_interactions.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig04_interactions.report(result))
+
+    # Shape: interactions exist in the best models, and the population
+    # keeps some diversity (no single pair is the entire story).
+    total = sum(result.region_totals.values())
+    assert total > 0
+    assert len(result.top_pairs) >= 2
+    # The matrix is symmetric by construction.
+    assert (result.counts == result.counts.T).all()

@@ -1,0 +1,18 @@
+"""Figure 5 — genetic-search convergence."""
+
+from conftest import print_report
+
+from repro.experiments import fig05_convergence
+
+
+def test_fig05_convergence(benchmark, scale):
+    result = benchmark.pedantic(
+        fig05_convergence.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig05_convergence.report(result))
+
+    # Shape: accuracy improves over generations (errors fall).
+    assert result.sum_errors[-1] <= result.sum_errors[0]
+    # Useful models appear after only a few generations: the best model is
+    # already in single-digit-per-app territory early on.
+    assert min(result.best_fitness) < 0.25

@@ -1,0 +1,27 @@
+"""Figures 7 & 8 — accuracy across interpolation/extrapolation scenarios."""
+
+from conftest import print_report
+
+from repro.experiments import fig07_08_accuracy
+
+
+def test_fig07_08_accuracy(benchmark, scale):
+    result = benchmark.pedantic(
+        fig07_08_accuracy.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig07_08_accuracy.report(result))
+
+    # Shape: interpolation is accurate (paper: ~5% median; abstract allows
+    # 8-10% for general applications) and strongly correlated.  The bands
+    # below are for the default bench scale; REPRO_SCALE=full tightens them.
+    assert result.interpolation.errors.median < 0.15
+    assert result.interpolation.correlation > 0.85
+
+    # Extrapolation with updates stays in the same accuracy band.
+    assert result.variant_extrapolation.errors.median < 0.20
+    assert result.variant_extrapolation.correlation > 0.8
+    assert result.new_software.errors.median < 0.20
+    assert result.new_software.correlation > 0.8
+
+    # New hardware + software is the hardest scenario, but trends hold.
+    assert result.new_hardware_software.correlation > 0.75

@@ -1,0 +1,28 @@
+"""Figure 9 — bwaves as a behavioral and performance outlier."""
+
+import numpy as np
+from conftest import print_report
+
+from repro.experiments import fig09_outliers
+
+
+def test_fig09_outliers(benchmark, scale):
+    result = benchmark.pedantic(
+        fig09_outliers.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig09_outliers.report(result))
+
+    # Shape: sjeng resembles its training set; bwaves does not.
+    assert result.bwaves_max_delta > 2.0 * result.sjeng_max_delta
+    assert result.bwaves_max_delta > 2.0
+
+    # Directionality (paper): bwaves has more taken branches (x2) and FP
+    # ops (x3, x4); fewer integer (x6) and memory (x7) operations.
+    deltas = result.deltas["bwaves"]
+    assert deltas[1] > 0 and deltas[2] > 0 and deltas[3] > 0
+    assert deltas[5] < 0 and deltas[6] < 0
+
+    # Performance: bwaves sits below the other applications' CPI cluster
+    # and spreads differently (bimodal in the paper).
+    assert result.cpi_bwaves.mean() < result.cpi_others.mean()
+    assert result.bimodality_gap > 1.2

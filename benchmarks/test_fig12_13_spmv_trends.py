@@ -1,0 +1,33 @@
+"""Figures 12 & 13 — SpMV blocking and cache parameter trends (raefsky3)."""
+
+import numpy as np
+from conftest import print_report
+
+from repro.experiments import fig12_13_trends
+
+
+def test_fig12_13_trends(benchmark, scale):
+    result = benchmark.pedantic(
+        fig12_13_trends.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig12_13_trends.report(result))
+
+    # Figure 12: 8 block rows maximize performance.
+    assert max(result.by_brow, key=result.by_brow.get) == 8
+    # Non-monotonic: 6 or 7 block rows are NOT better than 8.
+    assert result.by_brow[8] > result.by_brow[6]
+    assert result.by_brow[8] > result.by_brow[7]
+    # Block columns: multiples of 4 (1, 4, 8 in the paper) beat their
+    # immediate non-multiple neighbors on average.
+    mult4 = np.mean([result.by_bcol[c] for c in (1, 4, 8)])
+    other = np.mean([result.by_bcol[c] for c in (3, 5, 6, 7)])
+    assert mult4 > other
+    # Heavy fill harms performance.
+    bins = list(result.by_fill_bin.values())
+    assert bins[0] > bins[-1]
+
+    # Figure 13: larger lines stream better — monotone increasing averages.
+    lines = list(result.by_line.values())
+    assert all(b > a for a, b in zip(lines, lines[1:]))
+    # Highest associativity is not the winner (LRU-stack pollution).
+    assert max(result.by_dways, key=result.by_dways.get) != 8

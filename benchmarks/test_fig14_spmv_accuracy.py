@@ -1,0 +1,45 @@
+"""Figure 14 — SpMV performance and power model accuracy (all 11 matrices)."""
+
+import numpy as np
+from conftest import print_report
+
+from repro.experiments import fig14_spmv
+from repro.spmv import MATRIX_NAMES, TABLE4
+
+
+def test_table4_suite_printed(scale):
+    """Table 4 — the matrix suite itself (paper values vs. synthetic)."""
+    from repro.spmv import table4_suite
+
+    suite = table4_suite(seed=0)
+    lines = [
+        "Table 4 — sparse matrix suite (paper-scale -> synthetic stand-in)",
+        f"  {'matrix':<10s} {'paper N':>8s} {'paper nnz':>9s} "
+        f"{'ours N':>7s} {'ours nnz':>8s} {'sparsity':>9s}  structure",
+    ]
+    for info in TABLE4:
+        m = suite[info.name]
+        lines.append(
+            f"  {info.name:<10s} {info.paper_dimension:>8d} "
+            f"{info.paper_nnz:>9d} {m.n_rows:>7d} {m.nnz:>8d} "
+            f"{m.sparsity:>9.2e}  {info.structure}"
+        )
+    print_report("\n".join(lines))
+    assert len(suite) == 11
+
+
+def test_fig14_spmv_accuracy(benchmark, scale):
+    result = benchmark.pedantic(
+        fig14_spmv.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig14_spmv.report(result))
+
+    assert set(result.per_matrix) == set(MATRIX_NAMES)
+    # Shape: single-digit median errors for both targets (paper: 4-6%).
+    assert result.median_of_medians_perf < 0.10
+    assert result.median_of_medians_power < 0.10
+    # Every matrix is predicted usefully.
+    for name, acc in result.per_matrix.items():
+        assert acc.performance.median < 0.20, name
+        assert acc.power.median < 0.20, name
+        assert acc.performance_rho > 0.85, name

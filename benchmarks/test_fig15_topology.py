@@ -1,0 +1,23 @@
+"""Figure 15 — profiled vs. predicted block-size topology (nasasrb)."""
+
+from conftest import print_report
+
+from repro.experiments import fig15_topology
+
+
+def test_fig15_topology(benchmark, scale):
+    result = benchmark.pedantic(
+        fig15_topology.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig15_topology.report(result))
+
+    # Shape: the predicted topology tracks the profiled one.
+    assert result.correlation > 0.8
+    # The model finds a genuinely good block size: its predicted best is
+    # within the true top performers.
+    assert result.top_set_overlap >= 1
+    # nasasrb's natural blocking is 3/6-aligned; the true best reflects it.
+    assert result.true_best[0] in (3, 6) and result.true_best[1] in (3, 6)
+    # Discontinuities: blockings adjacent to 6x6 that profile worse than
+    # 1x1 are also predicted worse than 1x1.
+    assert result.discontinuity_captured

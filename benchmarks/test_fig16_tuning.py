@@ -1,0 +1,28 @@
+"""Figure 16 — application / architecture / coordinated tuning."""
+
+from conftest import print_report
+
+from repro.experiments import fig16_tuning
+
+
+def test_fig16_tuning(benchmark, scale):
+    result = benchmark.pedantic(
+        fig16_tuning.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(fig16_tuning.report(result))
+
+    # Shape (paper: 1.6x / 2.7x / 5.0x): coordinated tuning beats either
+    # strategy alone, and architecture tuning beats application tuning.
+    assert result.gmean_coord_speedup > result.gmean_arch_speedup
+    assert result.gmean_coord_speedup > result.gmean_app_speedup
+    assert result.gmean_arch_speedup > result.gmean_app_speedup
+    assert result.gmean_app_speedup > 1.1
+    assert result.gmean_coord_speedup > 2.5
+
+    # Energy (paper: 17 -> 11 with app tuning; ~25 with arch tuning;
+    # coordinated ~0.9x): application tuning reduces energy, architecture
+    # tuning increases it, coordinated lands at-or-below baseline.
+    assert result.mean_app_nj < result.mean_baseline_nj
+    assert result.mean_arch_nj > result.mean_baseline_nj
+    assert result.mean_coord_nj < result.mean_arch_nj
+    assert result.mean_coord_nj <= 1.1 * result.mean_baseline_nj

@@ -1,0 +1,18 @@
+"""§4.2 — automated genetic search vs. manual and stepwise baselines."""
+
+from conftest import print_report
+
+from repro.experiments import sec42_baselines
+
+
+def test_sec42_baselines(benchmark, scale):
+    result = benchmark.pedantic(
+        sec42_baselines.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(sec42_baselines.report(result))
+
+    # Shape: the genetic search beats the hand-specified model (paper: by
+    # ~10% relative).
+    assert result.genetic_error < result.manual_error
+    # And all approaches produce optimization-grade correlations.
+    assert result.genetic_rho > 0.85

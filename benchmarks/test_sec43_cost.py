@@ -1,0 +1,27 @@
+"""§4.3 — reduced profiling costs from the integrated model."""
+
+from conftest import print_report
+
+from repro.experiments import sec43_cost
+
+
+def test_sec43_cost(benchmark, scale):
+    result = benchmark.pedantic(
+        sec43_cost.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(sec43_cost.report(result))
+
+    # Shape: at every budget the integrated model is at least as accurate
+    # as per-application hardware-only models on average.
+    wins = sum(
+        ie <= pe
+        for ie, pe in zip(result.integrated_errors, result.per_app_errors)
+    )
+    assert wins >= len(result.budgets) - 1
+
+    # And it reaches the accuracy target with fewer profiles per app
+    # (paper: 2-4x fewer).
+    if result.cost_reduction is not None:
+        assert result.cost_reduction >= 2.0
+    else:
+        assert result.integrated_budget_at_target is not None

@@ -1,0 +1,28 @@
+"""Table 3 — transformations selected by the converged genetic search."""
+
+from conftest import print_report
+
+from repro.core.transforms import TransformKind
+from repro.experiments import table3_transforms
+
+
+def test_table3_transforms(benchmark, scale):
+    result = benchmark.pedantic(
+        table3_transforms.run, args=(scale,), rounds=1, iterations=1
+    )
+    print_report(table3_transforms.report(result))
+
+    # Shape: the search uses the whole transformation vocabulary — some
+    # variables dropped, some linear, some non-linear.
+    used_rows = [label for label, names in result.rows.items() if names]
+    assert len(used_rows) >= 3
+    # Not everything survives: at least one variable is un-used, echoing
+    # the paper's dropped y12.
+    assert result.rows["un-used"]
+    # And non-linear transforms are in play (paper: y2 needs splines).
+    nonlinear = (
+        result.rows["poly, degree 2"]
+        + result.rows["poly, degree 3"]
+        + result.rows["spline, 3 knots"]
+    )
+    assert nonlinear

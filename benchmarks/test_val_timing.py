@@ -1,0 +1,19 @@
+"""Validation — the interval model against cycle-level simulation."""
+
+import numpy as np
+from conftest import print_report
+
+from repro.experiments import val_timing
+
+
+def test_val_timing(benchmark, scale):
+    result = benchmark.pedantic(val_timing.run, args=(scale,), rounds=1, iterations=1)
+    print_report(val_timing.report(result))
+
+    # The fast model must rank architectures like the structural simulator
+    # for most applications, and its magnitudes must stay in a modest band.
+    pearsons = list(result.per_app_pearson.values())
+    assert np.median(pearsons) > 0.8
+    assert min(pearsons) > 0.6
+    assert 0.3 < np.median(result.ratios) < 2.0
+    assert (result.ratios > 0.25).all() and (result.ratios < 4.0).all()

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Adaptive architecture reconfiguration driven by an inferred model.
+
+The paper's opening motivation: "adaptive chips must navigate performance
+and power trade-offs" with sparse data (§1), with inferred models as the
+foundation for "control mechanisms for reconfigurable architectures".
+This example plays that controller:
+
+1. train an integrated model from sparse profiles.  Domain knowledge
+   enters exactly as §3.1 describes: the architect knows that ILP
+   (producer-consumer distances, x10..x12) interacts with machine width
+   (y1) and window (y2), so those product terms are added to the
+   hand-specified model — without them no pairwise model can tell a
+   streaming phase from a recurrence phase when choosing a width;
+2. run an application with strong phase behavior (bwaves: a streaming
+   phase that converts width into speed, and a recurrence phase that
+   cannot) shard by shard;
+3. at each shard, pick the operating point minimizing *predicted*
+   CPI x operating cost from a reconfigurable menu;
+4. compare, by true simulation, against every *static* choice of
+   operating point — adaptation should dominate all of them.
+"""
+
+import numpy as np
+
+from repro.core import (
+    InferredModel,
+    ModelSpec,
+    ProfileDataset,
+    ProfileRecord,
+    manual_general_spec,
+)
+from repro.profiling import SOFTWARE_VARIABLE_NAMES, profile_application
+from repro.uarch import (
+    HARDWARE_VARIABLE_NAMES,
+    Simulator,
+    config_from_levels,
+    sample_configs,
+)
+from repro.workloads import generate_trace, spec2006_suite
+
+SHARD_LENGTH = 5_000
+
+#: Reconfigurable operating points (a big.LITTLE-style menu) with relative
+#: energy/area cost per cycle.
+OPERATING_POINTS = {
+    "wide": ((3, 5, 2, 3, 3, 3, 3, 1, 3, 1, 2, 1, 3), 1.80),
+    "balanced": ((2, 3, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1), 1.15),
+    "narrow-efficient": ((0, 3, 2, 2, 2, 2, 2, 2, 1, 0, 1, 0, 1), 1.00),
+}
+
+
+def architect_spec() -> ModelSpec:
+    """The manual model plus the width/window x ILP interactions an
+    architect adds for an adaptation controller (§3.1's domain knowledge)."""
+    base = manual_general_spec()
+    return ModelSpec(
+        transforms=base.transforms,
+        interactions=base.interactions
+        | {("x10", "y1"), ("x11", "y1"), ("x12", "y1"), ("x10", "y2"), ("x2", "y2")},
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    simulator = Simulator()
+
+    print("1. training the integrated model from sparse profiles ...")
+    train = ProfileDataset(SOFTWARE_VARIABLE_NAMES, HARDWARE_VARIABLE_NAMES)
+    suite = spec2006_suite()
+    for name, spec in suite.items():
+        trace = generate_trace(spec, 6 * SHARD_LENGTH, seed=5, shard_length=SHARD_LENGTH)
+        shards = trace.shards(SHARD_LENGTH)
+        profiles = profile_application(trace, SHARD_LENGTH, application=name)
+        for config in sample_configs(40, rng):
+            i = int(rng.integers(0, len(shards)))
+            train.add(
+                ProfileRecord(name, profiles[i].x, config.as_vector(),
+                              simulator.cpi(shards[i], config))
+            )
+    model = InferredModel.fit(architect_spec(), train)
+
+    points = {
+        name: (config_from_levels(levels), cost)
+        for name, (levels, cost) in OPERATING_POINTS.items()
+    }
+
+    print("2. running bwaves shard by shard, adapting the operating point")
+    trace = generate_trace(suite["bwaves"], 8 * SHARD_LENGTH, seed=77, shard_length=SHARD_LENGTH)
+    shards = trace.shards(SHARD_LENGTH)
+    profiles = profile_application(trace, SHARD_LENGTH, application="bwaves")
+
+    print(f"   {'shard':>6s} {'adaptive point':<18s} {'true CPIxcost':>13s}")
+    adaptive_total = 0.0
+    static_totals = {name: 0.0 for name in points}
+    switches = 0
+    last = None
+    for i, (shard, profile) in enumerate(zip(shards, profiles)):
+        predicted = {
+            name: model.predict_one(profile.x, config.as_vector()) * cost
+            for name, (config, cost) in points.items()
+        }
+        choice = min(predicted, key=predicted.get)
+        if last is not None and choice != last:
+            switches += 1
+        last = choice
+
+        config, cost = points[choice]
+        adaptive_score = simulator.cpi(shard, config) * cost
+        adaptive_total += adaptive_score * len(shard)
+        for name, (static_config, static_cost) in points.items():
+            static_totals[name] += (
+                simulator.cpi(shard, static_config) * static_cost * len(shard)
+            )
+        print(f"   {i:>6d} {choice:<18s} {adaptive_score:>13.3f}")
+
+    print("3. results (cost-weighted cycles; lower is better)")
+    for name, total in static_totals.items():
+        print(f"   static {name:<18s} {total:12,.0f}   ({total / adaptive_total:.3f}x adaptive)")
+    print(f"   adaptive ({switches} reconfigurations) {adaptive_total:10,.0f}")
+    best_static = min(static_totals.values())
+    print(
+        f"   adaptation beats the best static point by "
+        f"{best_static / adaptive_total - 1:.1%} and the worst by "
+        f"{max(static_totals.values()) / adaptive_total - 1:.1%}"
+    )
+    print(
+        "   (the controller upshifts for the streaming phase, which can\n"
+        "   convert width into speed, and downshifts for the recurrence\n"
+        "   phase, which cannot — §1's 'adapt structural resources to\n"
+        "   dynamic application behavior', priced honestly)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: infer an integrated hardware-software performance model.
+
+This walks the paper's §2-§3 pipeline end to end, at a small scale that
+runs in well under a minute:
+
+1. generate synthetic SPEC2006-like applications and break them into
+   shards (§2.1);
+2. profile each shard's microarchitecture-independent characteristics
+   (Table 1);
+3. sparsely sample hardware-software interactions on the Table 2 design
+   space with the out-of-order timing model;
+4. run the genetic search to choose variables, transformations and
+   interactions automatically (§3.4);
+5. validate the inferred model on held-out application-architecture pairs.
+"""
+
+import numpy as np
+
+from repro.core import GeneticSearch, ProfileDataset, ProfileRecord
+from repro.profiling import SOFTWARE_VARIABLE_NAMES, profile_application
+from repro.uarch import HARDWARE_VARIABLE_NAMES, Simulator, sample_configs
+from repro.workloads import generate_trace, spec2006_suite
+
+SHARD_LENGTH = 5_000
+CONFIGS_PER_APP = 50
+
+
+def main() -> None:
+    rng = np.random.default_rng(2012)
+    simulator = Simulator()
+
+    train = ProfileDataset(SOFTWARE_VARIABLE_NAMES, HARDWARE_VARIABLE_NAMES)
+    validate = ProfileDataset(SOFTWARE_VARIABLE_NAMES, HARDWARE_VARIABLE_NAMES)
+
+    print("1. generating + profiling applications ...")
+    for name, spec in spec2006_suite().items():
+        trace = generate_trace(spec, 6 * SHARD_LENGTH, seed=1, shard_length=SHARD_LENGTH)
+        shards = trace.shards(SHARD_LENGTH)
+        profiles = profile_application(trace, SHARD_LENGTH, application=name)
+
+        # 2. sparse sampling: each architecture sees one random shard.
+        for config in sample_configs(CONFIGS_PER_APP, rng):
+            i = int(rng.integers(0, len(shards)))
+            cpi = simulator.cpi(shards[i], config)
+            record = ProfileRecord(name, profiles[i].x, config.as_vector(), cpi)
+            (train if rng.random() < 0.8 else validate).add(record)
+    print(f"   {len(train)} training profiles, {len(validate)} validation profiles")
+
+    print("2. genetic search for the model specification ...")
+    search = GeneticSearch(population_size=20, seed=7)
+    result = search.run(
+        train,
+        generations=6,
+        progress=lambda r: print(
+            f"   generation {r.generation}: best mean error {r.best_fitness:.1%}"
+        ),
+    )
+
+    print("3. fitting + validating the winning specification ...")
+    model = result.best_model(train)
+    score = model.score(validate)
+    print(f"   validation median error: {score['median_error']:.1%}")
+    print(f"   predicted-vs-true correlation: {score['correlation']:.3f}")
+
+    print("4. what the search selected (Table 3 style):")
+    for transform, variables in model.transform_summary().items():
+        if variables:
+            print(f"   {transform:<16s} {', '.join(variables)}")
+
+    record = validate.records[0]
+    prediction = model.predict_one(record.x, record.y)
+    print(
+        f"5. single prediction: {record.application} -> "
+        f"predicted CPI {prediction:.2f}, measured CPI {record.z:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — Inferred Models for Dynamic and Sparse Hardware-Software Spaces.
+
+A full reproduction of Wu & Lee (MICRO 2012): integrated hardware-software
+performance models inferred by statistical regression with an automated
+genetic specification search, evaluated on a synthetic SPEC2006-like
+workload suite over an out-of-order design space, plus the domain-specific
+SpMV case study with coordinated hardware-software tuning.
+
+Subpackages
+-----------
+``repro.core``
+    Regression models, transformations, genetic search, update policies.
+``repro.isa`` / ``repro.workloads``
+    Trace format and the synthetic application suite.
+``repro.profiling``
+    Microarchitecture-independent shard profiling (Table 1).
+``repro.uarch``
+    The Table 2 design space and the out-of-order timing model.
+``repro.spmv``
+    Sparse matrix-vector multiply: matrices, BCSR blocking, cache
+    simulation, energy, and coordinated tuning (§5).
+``repro.experiments``
+    One driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,113 @@
+"""Integrated hardware-software performance modeling — the paper's core.
+
+Public API:
+
+* data containers: :class:`ProfileRecord`, :class:`ProfileDataset`
+* specifications: :class:`ModelSpec`, :class:`TransformKind`
+* fitting: :class:`InferredModel`, :func:`fit_ols`
+* automated search: :class:`GeneticSearch`, :class:`Chromosome`
+* system dynamics: :class:`ModelManager`
+* baselines: :func:`stepwise_search`, :func:`manual_general_spec`
+* metrics: :func:`median_error`, :func:`pearson_correlation`,
+  :class:`BoxplotStats`
+"""
+
+from repro.core.dataset import ProfileDataset, ProfileRecord
+from repro.core.transforms import (
+    TransformKind,
+    FittedTransform,
+    fit_transform,
+    stabilize,
+    choose_ladder_power,
+    skewness,
+    spline_knots,
+    truncated_power_basis,
+    polynomial_basis,
+)
+from repro.core.design import ModelSpec, DesignMatrixBuilder, normalize_interaction
+from repro.core.collinearity import (
+    prune_correlated,
+    prune_rank_deficient,
+    prune_design,
+    variance_inflation_factors,
+)
+from repro.core.regression import LinearFit, fit_ols, r_squared
+from repro.core.metrics import (
+    BoxplotStats,
+    absolute_percentage_errors,
+    median_error,
+    pearson_correlation,
+    spearman_correlation,
+)
+from repro.core.model import InferredModel
+from repro.core.chromosome import Chromosome, chromosome_from_spec
+from repro.core.fitness import FitnessResult, evaluate_spec
+from repro.core.genetic import GeneticSearch, SearchResult, GenerationRecord
+from repro.core.updater import ModelManager, ObservationOutcome
+from repro.core.stepwise import stepwise_search
+from repro.core.manual import manual_general_spec
+from repro.core.significance import (
+    SignificanceReport,
+    inclusion_frequency,
+    interaction_matrix,
+    modal_transforms,
+    table3_rows,
+    transform_histogram,
+)
+from repro.core.serialize import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+__all__ = [
+    "ProfileDataset",
+    "ProfileRecord",
+    "TransformKind",
+    "FittedTransform",
+    "fit_transform",
+    "stabilize",
+    "choose_ladder_power",
+    "skewness",
+    "spline_knots",
+    "truncated_power_basis",
+    "polynomial_basis",
+    "ModelSpec",
+    "DesignMatrixBuilder",
+    "normalize_interaction",
+    "prune_correlated",
+    "prune_rank_deficient",
+    "prune_design",
+    "variance_inflation_factors",
+    "LinearFit",
+    "fit_ols",
+    "r_squared",
+    "BoxplotStats",
+    "absolute_percentage_errors",
+    "median_error",
+    "pearson_correlation",
+    "spearman_correlation",
+    "InferredModel",
+    "Chromosome",
+    "chromosome_from_spec",
+    "FitnessResult",
+    "evaluate_spec",
+    "GeneticSearch",
+    "SearchResult",
+    "GenerationRecord",
+    "ModelManager",
+    "ObservationOutcome",
+    "stepwise_search",
+    "manual_general_spec",
+    "SignificanceReport",
+    "inclusion_frequency",
+    "interaction_matrix",
+    "modal_transforms",
+    "table3_rows",
+    "transform_histogram",
+    "load_model",
+    "model_from_dict",
+    "model_to_dict",
+    "save_model",
+]

@@ -1,0 +1,218 @@
+"""Genetic encoding of model specifications (§3.4).
+
+Each model is a chromosome:
+
+* one **gene per variable**, valued 0..4 — excluded, linear, quadratic,
+  cubic, or piecewise-cubic spline with three inflection points;
+* a **dynamically sized list of interactions**, each a pair of variable
+  indices ``i-j`` for the product term ``xi * xj``.  The list grows and
+  shrinks during the search because the number of possible interactions is
+  combinatorial and cannot be statically sized.
+
+Operators (applied by :mod:`repro.core.genetic`):
+
+* C1 — a single variable gene exchanged between two chromosomes;
+* C2 — an interaction exchanged between two chromosomes;
+* C3 — a new interaction created from single variables of two chromosomes;
+* M1 — an interaction randomly changed;
+* M2 — a single variable gene randomly changed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.design import ModelSpec
+from repro.core.transforms import TransformKind
+
+N_GENE_VALUES = 5  # 0..4
+
+
+@dataclasses.dataclass(frozen=True)
+class Chromosome:
+    """Immutable model encoding over a fixed variable ordering."""
+
+    genes: Tuple[int, ...]
+    interactions: FrozenSet[Tuple[int, int]]
+
+    def __post_init__(self):
+        genes = tuple(int(g) for g in self.genes)
+        if any(not 0 <= g < N_GENE_VALUES for g in genes):
+            raise ValueError(f"gene values must be 0..{N_GENE_VALUES - 1}")
+        object.__setattr__(self, "genes", genes)
+        pairs = set()
+        for i, j in self.interactions:
+            if i == j:
+                raise ValueError("interactions need two distinct variables")
+            if not (0 <= i < len(genes) and 0 <= j < len(genes)):
+                raise ValueError(f"interaction ({i}, {j}) out of range")
+            pairs.add((min(i, j), max(i, j)))
+        object.__setattr__(self, "interactions", frozenset(pairs))
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.genes)
+
+    def to_spec(self, variable_names: Sequence[str]) -> ModelSpec:
+        """Decode into a :class:`ModelSpec` over named variables."""
+        if len(variable_names) != len(self.genes):
+            raise ValueError(
+                f"{len(variable_names)} names for {len(self.genes)} genes"
+            )
+        transforms = {
+            name: TransformKind(gene)
+            for name, gene in zip(variable_names, self.genes)
+        }
+        interactions = frozenset(
+            (variable_names[i], variable_names[j]) for i, j in self.interactions
+        )
+        return ModelSpec(transforms=transforms, interactions=interactions)
+
+    # -- genetic operators ---------------------------------------------------------
+
+    def with_gene(self, index: int, value: int) -> "Chromosome":
+        genes = list(self.genes)
+        genes[index] = value
+        return Chromosome(tuple(genes), self.interactions)
+
+    def with_interactions(
+        self, interactions: FrozenSet[Tuple[int, int]]
+    ) -> "Chromosome":
+        return Chromosome(self.genes, interactions)
+
+    @staticmethod
+    def random(
+        n_variables: int,
+        rng: np.random.Generator,
+        mean_interactions: float = 4.0,
+        include_rate: float = 0.6,
+    ) -> "Chromosome":
+        """A random chromosome for the initial population.
+
+        ``include_rate`` is the probability a variable is included at all;
+        included variables get a uniformly random non-zero transform.
+        """
+        if n_variables < 2:
+            raise ValueError("need at least two variables")
+        genes = np.where(
+            rng.random(n_variables) < include_rate,
+            rng.integers(1, N_GENE_VALUES, size=n_variables),
+            0,
+        )
+        n_inter = min(int(rng.poisson(mean_interactions)), n_variables * 2)
+        pairs = set()
+        for _ in range(n_inter):
+            i, j = rng.choice(n_variables, size=2, replace=False)
+            pairs.add((min(int(i), int(j)), max(int(i), int(j))))
+        return Chromosome(tuple(int(g) for g in genes), frozenset(pairs))
+
+
+def chromosome_from_spec(spec, variable_names: Sequence[str]) -> Chromosome:
+    """Encode a :class:`~repro.core.design.ModelSpec` as a chromosome.
+
+    The inverse of :meth:`Chromosome.to_spec`.  Used to seed the genetic
+    search with known-reasonable models — "as the search begins with more
+    effective models in the starting population, fewer generations are
+    required" (§4.2).
+    """
+    index = {name: i for i, name in enumerate(variable_names)}
+    missing = set(spec.transforms) - set(index)
+    if missing:
+        raise ValueError(f"spec has variables not in the dataset: {sorted(missing)}")
+    genes = [0] * len(variable_names)
+    for name, kind in spec.transforms.items():
+        genes[index[name]] = int(kind)
+    interactions = frozenset(
+        (min(index[a], index[b]), max(index[a], index[b]))
+        for a, b in spec.interactions
+    )
+    return Chromosome(tuple(genes), interactions)
+
+
+def crossover_variable(
+    a: Chromosome, b: Chromosome, rng: np.random.Generator
+) -> Tuple[Chromosome, Chromosome]:
+    """C1: one variable gene exchanged between two chromosomes."""
+    index = int(rng.integers(0, a.n_variables))
+    return a.with_gene(index, b.genes[index]), b.with_gene(index, a.genes[index])
+
+
+def crossover_interaction(
+    a: Chromosome, b: Chromosome, rng: np.random.Generator
+) -> Tuple[Chromosome, Chromosome]:
+    """C2: one interaction exchanged between two chromosomes.
+
+    Each parent donates one random interaction to the other.  Parents
+    without interactions donate nothing.
+    """
+    from_a = _random_interaction(a, rng)
+    from_b = _random_interaction(b, rng)
+    new_a = a.interactions
+    new_b = b.interactions
+    if from_b is not None:
+        new_a = new_a | {from_b}
+    if from_a is not None:
+        new_b = new_b | {from_a}
+    return a.with_interactions(new_a), b.with_interactions(new_b)
+
+
+def crossover_create_interaction(
+    a: Chromosome, b: Chromosome, rng: np.random.Generator
+) -> Tuple[Chromosome, Chromosome]:
+    """C3: an interaction created from single variables of two chromosomes.
+
+    Picks one *included* variable from each parent (falling back to any
+    variable) and adds their product term to both children.
+    """
+    vi = _random_included_variable(a, rng)
+    vj = _random_included_variable(b, rng)
+    if vi == vj:
+        vj = int((vj + 1) % a.n_variables)
+    pair = (min(vi, vj), max(vi, vj))
+    return (
+        a.with_interactions(a.interactions | {pair}),
+        b.with_interactions(b.interactions | {pair}),
+    )
+
+
+def mutate_interaction(c: Chromosome, rng: np.random.Generator) -> Chromosome:
+    """M1: an interaction randomly changed (replaced, added, or dropped)."""
+    pairs = set(c.interactions)
+    existing = _random_interaction(c, rng)
+    roll = rng.random()
+    if existing is not None and roll < 0.5:
+        pairs.discard(existing)
+        if roll < 0.35:  # replace rather than drop
+            pairs.add(_random_pair(c.n_variables, rng))
+    else:
+        pairs.add(_random_pair(c.n_variables, rng))
+    return c.with_interactions(frozenset(pairs))
+
+
+def mutate_variable(c: Chromosome, rng: np.random.Generator) -> Chromosome:
+    """M2: a single variable gene randomly changed."""
+    index = int(rng.integers(0, c.n_variables))
+    current = c.genes[index]
+    choices = [v for v in range(N_GENE_VALUES) if v != current]
+    return c.with_gene(index, int(rng.choice(choices)))
+
+
+def _random_interaction(c: Chromosome, rng: np.random.Generator):
+    if not c.interactions:
+        return None
+    pairs = sorted(c.interactions)
+    return pairs[int(rng.integers(0, len(pairs)))]
+
+
+def _random_included_variable(c: Chromosome, rng: np.random.Generator) -> int:
+    included = [i for i, g in enumerate(c.genes) if g > 0]
+    pool = included or list(range(c.n_variables))
+    return int(pool[int(rng.integers(0, len(pool)))])
+
+
+def _random_pair(n: int, rng: np.random.Generator) -> Tuple[int, int]:
+    i, j = rng.choice(n, size=2, replace=False)
+    return (min(int(i), int(j)), max(int(i), int(j)))

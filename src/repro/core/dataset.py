@@ -1,0 +1,197 @@
+"""Profile datasets: sparse samples of an integrated HW-SW space.
+
+A :class:`ProfileRecord` is one observation — software characteristics
+``x``, hardware parameters ``y``, and measured performance ``z`` — exactly
+the (x, y, z) triple of §2.3.  A :class:`ProfileDataset` is a collection of
+records grouped by application, supporting the per-application
+train/validation splitting the modeling heuristic's inner loop requires
+(§3.3 pseudo-code).
+
+The container is variable-name driven so the same machinery serves the
+general study (13 software x 13 hardware variables) and the domain-specific
+SpMV study (3 x 7).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileRecord:
+    """One profiled hardware-software interaction."""
+
+    application: str
+    x: np.ndarray          # software characteristics
+    y: np.ndarray          # hardware parameters
+    z: float               # measured performance
+    tag: str = ""          # free-form provenance (shard key, config key, ...)
+
+    def __post_init__(self):
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=float))
+        if not np.isfinite(self.x).all() or not np.isfinite(self.y).all():
+            raise ValueError(f"non-finite profile for {self.application}")
+        if not np.isfinite(self.z):
+            raise ValueError(f"non-finite performance for {self.application}")
+
+
+class ProfileDataset:
+    """An ordered collection of profile records with named variables.
+
+    Parameters
+    ----------
+    x_names, y_names:
+        Names of the software and hardware variables, in column order.
+    records:
+        Optional initial records.
+    """
+
+    def __init__(
+        self,
+        x_names: Sequence[str],
+        y_names: Sequence[str],
+        records: Iterable[ProfileRecord] = (),
+    ):
+        self.x_names = tuple(x_names)
+        self.y_names = tuple(y_names)
+        if set(self.x_names) & set(self.y_names):
+            raise ValueError("software and hardware variable names must not overlap")
+        self._records: List[ProfileRecord] = []
+        for record in records:
+            self.add(record)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def add(self, record: ProfileRecord) -> None:
+        if len(record.x) != len(self.x_names):
+            raise ValueError(
+                f"record has {len(record.x)} software values, expected {len(self.x_names)}"
+            )
+        if len(record.y) != len(self.y_names):
+            raise ValueError(
+                f"record has {len(record.y)} hardware values, expected {len(self.y_names)}"
+            )
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ProfileRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    # -- container protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileDataset({len(self)} records, "
+            f"{len(self.applications)} applications)"
+        )
+
+    @property
+    def records(self) -> Tuple[ProfileRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def applications(self) -> Tuple[str, ...]:
+        """Application names in first-appearance order."""
+        seen = dict.fromkeys(r.application for r in self._records)
+        return tuple(seen)
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """All variable names: software first, then hardware."""
+        return self.x_names + self.y_names
+
+    # -- matrix views ------------------------------------------------------------------
+
+    def matrix(self) -> np.ndarray:
+        """All variables as one matrix, columns ordered like
+        :attr:`variable_names`."""
+        if not self._records:
+            return np.empty((0, len(self.variable_names)))
+        return np.array(
+            [np.concatenate([r.x, r.y]) for r in self._records], dtype=float
+        )
+
+    def targets(self) -> np.ndarray:
+        return np.array([r.z for r in self._records], dtype=float)
+
+    def labels(self) -> np.ndarray:
+        return np.array([r.application for r in self._records])
+
+    # -- grouping and splitting -----------------------------------------------------------
+
+    def subset(self, indices: Sequence[int]) -> "ProfileDataset":
+        out = ProfileDataset(self.x_names, self.y_names)
+        out._records = [self._records[i] for i in indices]
+        return out
+
+    def by_application(self) -> Dict[str, "ProfileDataset"]:
+        groups: Dict[str, List[int]] = {}
+        for i, record in enumerate(self._records):
+            groups.setdefault(record.application, []).append(i)
+        return {app: self.subset(idx) for app, idx in groups.items()}
+
+    def without_application(self, application: str) -> "ProfileDataset":
+        """All records except those of ``application`` (the paper's P_{-s})."""
+        keep = [
+            i for i, r in enumerate(self._records) if r.application != application
+        ]
+        return self.subset(keep)
+
+    def only_application(self, application: str) -> "ProfileDataset":
+        keep = [
+            i for i, r in enumerate(self._records) if r.application == application
+        ]
+        return self.subset(keep)
+
+    def split(
+        self,
+        fraction: float,
+        rng: np.random.Generator,
+        stratify: bool = True,
+    ) -> Tuple["ProfileDataset", "ProfileDataset"]:
+        """Random (train, validation) split.
+
+        With ``stratify`` the split is performed within each application so
+        every application contributes to both sides.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        if stratify:
+            train_idx: List[int] = []
+            val_idx: List[int] = []
+            groups: Dict[str, List[int]] = {}
+            for i, record in enumerate(self._records):
+                groups.setdefault(record.application, []).append(i)
+            for idx in groups.values():
+                idx = np.array(idx)
+                perm = rng.permutation(len(idx))
+                cut = max(1, int(round(fraction * len(idx))))
+                cut = min(cut, len(idx) - 1) if len(idx) > 1 else len(idx)
+                train_idx.extend(idx[perm[:cut]].tolist())
+                val_idx.extend(idx[perm[cut:]].tolist())
+            return self.subset(sorted(train_idx)), self.subset(sorted(val_idx))
+        perm = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(sorted(perm[:cut])), self.subset(sorted(perm[cut:]))
+
+    @staticmethod
+    def merge(datasets: Sequence["ProfileDataset"]) -> "ProfileDataset":
+        if not datasets:
+            raise ValueError("nothing to merge")
+        first = datasets[0]
+        out = ProfileDataset(first.x_names, first.y_names)
+        for ds in datasets:
+            if ds.x_names != first.x_names or ds.y_names != first.y_names:
+                raise ValueError("cannot merge datasets with different variables")
+            out._records.extend(ds._records)
+        return out

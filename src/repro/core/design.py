@@ -1,0 +1,171 @@
+"""Model specifications and design-matrix construction (§3.1).
+
+A :class:`ModelSpec` is the declarative description a chromosome decodes
+to: a transform kind per variable plus a set of pairwise interactions.
+A :class:`DesignMatrixBuilder` *fits* the spec to training data — choosing
+stabilization powers and spline knots — and then deterministically maps any
+dataset with the same variables to a numeric design matrix.
+
+Interactions follow the paper's product-term formulation
+(``z = ... + b3 * xi * xj``): the product of the two variables'
+stabilized-linear views.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.core.dataset import ProfileDataset
+from repro.core.transforms import FittedTransform, TransformKind, fit_transform
+
+Interaction = Tuple[str, str]
+
+
+def normalize_interaction(a: str, b: str) -> Interaction:
+    """Canonical (sorted) form of an interaction pair."""
+    if a == b:
+        raise ValueError(f"an interaction needs two distinct variables, got {a!r} twice")
+    return (a, b) if a < b else (b, a)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """Variables, transformations, and interactions of one candidate model."""
+
+    transforms: Dict[str, TransformKind]
+    interactions: FrozenSet[Interaction] = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(self, "transforms", dict(self.transforms))
+        pairs = {normalize_interaction(*pair) for pair in self.interactions}
+        for a, b in pairs:
+            for name in (a, b):
+                if name not in self.transforms:
+                    raise ValueError(f"interaction references unknown variable {name!r}")
+        object.__setattr__(self, "interactions", frozenset(pairs))
+
+    @property
+    def included_variables(self) -> Tuple[str, ...]:
+        return tuple(
+            name
+            for name, kind in self.transforms.items()
+            if kind != TransformKind.EXCLUDED
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-spec-per-line description."""
+        lines = []
+        for name, kind in self.transforms.items():
+            if kind != TransformKind.EXCLUDED:
+                lines.append(f"{name}: {kind.name.lower()}")
+        for a, b in sorted(self.interactions):
+            lines.append(f"{a} * {b}")
+        return "\n".join(lines)
+
+    def complexity(self) -> int:
+        """Rough column count: polynomial degrees + spline width + interactions."""
+        total = 0
+        for kind in self.transforms.values():
+            if kind == TransformKind.SPLINE:
+                total += 6
+            else:
+                total += int(kind)
+        return total + len(self.interactions)
+
+
+class DesignMatrixBuilder:
+    """Fits a :class:`ModelSpec` to data and produces design matrices.
+
+    Interaction terms use each variable's stabilized-linear view even when
+    the variable's own main-effect transform is richer (or the variable is
+    excluded as a main effect) — the chromosome treats main effects and
+    interactions independently (§3.4).
+    """
+
+    def __init__(self, spec: ModelSpec, auto_stabilize: bool = True):
+        self.spec = spec
+        self.auto_stabilize = auto_stabilize
+        self._fitted: Dict[str, FittedTransform] = {}
+        self._linear_views: Dict[str, FittedTransform] = {}
+        self._columns: List[str] = []
+        self._variable_names: Tuple[str, ...] = ()
+        self._is_fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._is_fitted
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        self._require_fitted()
+        return tuple(self._columns)
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Variable names (software then hardware) seen at fit time."""
+        self._require_fitted()
+        return self._variable_names
+
+    def fit(self, dataset: ProfileDataset) -> "DesignMatrixBuilder":
+        """Estimate transform state (powers, knots) from training data."""
+        if len(dataset) == 0:
+            raise ValueError("cannot fit a design on an empty dataset")
+        self._variable_names = dataset.variable_names
+        matrix = dataset.matrix()
+        name_to_col = {name: i for i, name in enumerate(self._variable_names)}
+
+        for name in self.spec.transforms:
+            if name not in name_to_col:
+                raise ValueError(f"spec references unknown variable {name!r}")
+
+        self._fitted.clear()
+        self._linear_views.clear()
+        self._columns = []
+        for name, kind in self.spec.transforms.items():
+            values = matrix[:, name_to_col[name]]
+            fitted = fit_transform(values, kind, self.auto_stabilize)
+            self._fitted[name] = fitted
+            for suffix in fitted.column_suffixes():
+                self._columns.append(f"{name}{suffix}")
+
+        interacting = {v for pair in self.spec.interactions for v in pair}
+        for name in interacting:
+            values = matrix[:, name_to_col[name]]
+            self._linear_views[name] = fit_transform(
+                values, TransformKind.LINEAR, self.auto_stabilize
+            )
+        for a, b in sorted(self.spec.interactions):
+            self._columns.append(f"{a}*{b}")
+        self._is_fitted = True
+        return self
+
+    def transform(self, dataset: ProfileDataset) -> np.ndarray:
+        """Design matrix for ``dataset`` using the fitted state."""
+        self._require_fitted()
+        if dataset.variable_names != self._variable_names:
+            raise ValueError("dataset variables differ from the fitted ones")
+        matrix = dataset.matrix()
+        name_to_col = {name: i for i, name in enumerate(self._variable_names)}
+
+        blocks = []
+        for name, fitted in self._fitted.items():
+            if fitted.kind == TransformKind.EXCLUDED:
+                continue
+            blocks.append(fitted.apply(matrix[:, name_to_col[name]]))
+        for a, b in sorted(self.spec.interactions):
+            va = self._linear_views[a].stabilized(matrix[:, name_to_col[a]])
+            vb = self._linear_views[b].stabilized(matrix[:, name_to_col[b]])
+            blocks.append((va * vb)[:, None])
+        if not blocks:
+            return np.empty((len(dataset), 0))
+        return np.column_stack(blocks)
+
+    def fit_transform(self, dataset: ProfileDataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("builder is not fitted; call fit() first")

@@ -1,0 +1,276 @@
+"""Genetic search for model specifications (§3.4, and the §3.3 pseudo-code).
+
+The outer loops of the paper's heuristic: a population of chromosomes
+evolves for G generations.  Each generation,
+
+* every model's fitness is evaluated by the per-application inner loop
+  (:mod:`repro.core.fitness`), which is embarrassingly parallel and can be
+  distributed over worker processes (the paper parallelizes with R's doMC);
+* the best N% propagate unchanged (elitism);
+* the remainder is produced from tournament-selected parents by crossovers
+  C1/C2/C3 (12.5% each) and mutations M1/M2 (5% each) — the paper's
+  experimentally effective rates — with at least one operator guaranteed
+  per offspring so the non-elite fraction is genuinely new material.
+
+Because the heuristic "accommodates new data by updating the model
+specification and fitting new regression coefficients", the search can be
+*resumed* from a previous population when profiles accrue
+(:meth:`GeneticSearch.update`), which is how §3.3 model updates are
+realized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chromosome import (
+    Chromosome,
+    crossover_create_interaction,
+    crossover_interaction,
+    crossover_variable,
+    mutate_interaction,
+    mutate_variable,
+)
+from repro.core.dataset import ProfileDataset
+from repro.core.fitness import FitnessResult, evaluate_spec
+from repro.core.model import InferredModel
+
+CROSSOVER_RATE = 0.125   # per crossover operator (C1, C2, C3)
+MUTATION_RATE = 0.05     # per mutation operator (M1, M2)
+DEFAULT_POPULATION = 50
+DEFAULT_GENERATIONS = 20
+DEFAULT_ELITE_FRACTION = 0.25
+
+
+@dataclasses.dataclass
+class GenerationRecord:
+    """Progress snapshot after one generation."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    best_sum_error: float
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of a genetic search."""
+
+    best_chromosome: Chromosome
+    best_fitness: FitnessResult
+    population: List[Chromosome]
+    fitnesses: List[FitnessResult]
+    history: List[GenerationRecord]
+
+    def best_model(self, dataset: ProfileDataset) -> InferredModel:
+        """Fit the winning specification on the full dataset."""
+        spec = self.best_chromosome.to_spec(dataset.variable_names)
+        return InferredModel.fit(spec, dataset)
+
+    def ranked(self) -> List[Tuple[Chromosome, FitnessResult]]:
+        """(chromosome, fitness) pairs, best first."""
+        order = np.argsort([f.fitness for f in self.fitnesses])
+        return [(self.population[i], self.fitnesses[i]) for i in order]
+
+
+class GeneticSearch:
+    """Evolves model specifications against a profile dataset.
+
+    Parameters
+    ----------
+    population_size:
+        Number of candidate models per generation (the paper examines "the
+        50 best models", so the default population is 50).
+    elite_fraction:
+        Fraction N% of each generation that survives unchanged.
+    evaluator:
+        Fitness function ``(spec, dataset, rng) -> FitnessResult``;
+        defaults to the paper's per-application inner loop.
+    n_workers:
+        If > 1, candidate models of a generation are evaluated in a process
+        pool (the inner loop is embarrassingly parallel, §4.2).
+    """
+
+    def __init__(
+        self,
+        population_size: int = DEFAULT_POPULATION,
+        elite_fraction: float = DEFAULT_ELITE_FRACTION,
+        evaluator: Optional[Callable] = None,
+        n_workers: int = 1,
+        seed: int = 0,
+    ):
+        if population_size < 4:
+            raise ValueError("population must have at least 4 models")
+        if not 0.0 < elite_fraction < 1.0:
+            raise ValueError("elite_fraction must be in (0, 1)")
+        self.population_size = population_size
+        self.elite_fraction = elite_fraction
+        self.evaluator = evaluator or evaluate_spec
+        self.n_workers = n_workers
+        self.rng = np.random.default_rng(seed)
+        self._population: List[Chromosome] = []
+        self._split_seed = seed
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(
+        self,
+        dataset: ProfileDataset,
+        generations: int = DEFAULT_GENERATIONS,
+        initial_population: Optional[Sequence[Chromosome]] = None,
+        progress: Optional[Callable[[GenerationRecord], None]] = None,
+    ) -> SearchResult:
+        """Evolve for ``generations`` and return the final population."""
+        names = dataset.variable_names
+        n_vars = len(names)
+        self._split_seed = int(self.rng.integers(0, 2**31))
+        if initial_population is not None:
+            population = list(initial_population)
+            population += [
+                Chromosome.random(n_vars, self.rng)
+                for _ in range(self.population_size - len(population))
+            ]
+            population = population[: self.population_size]
+        else:
+            population = [
+                Chromosome.random(n_vars, self.rng)
+                for _ in range(self.population_size)
+            ]
+
+        history: List[GenerationRecord] = []
+        fitnesses = self._evaluate_population(population, dataset, names)
+        for generation in range(1, generations + 1):
+            order = np.argsort([f.fitness for f in fitnesses])
+            population = [population[i] for i in order]
+            fitnesses = [fitnesses[i] for i in order]
+            record = GenerationRecord(
+                generation=generation,
+                best_fitness=fitnesses[0].fitness,
+                mean_fitness=float(np.mean([f.fitness for f in fitnesses])),
+                best_sum_error=fitnesses[0].sum_error,
+            )
+            history.append(record)
+            if progress is not None:
+                progress(record)
+            if generation == generations:
+                break
+            population = self._next_generation(population)
+            fitnesses = self._evaluate_population(population, dataset, names)
+
+        order = np.argsort([f.fitness for f in fitnesses])
+        population = [population[i] for i in order]
+        fitnesses = [fitnesses[i] for i in order]
+        self._population = population
+        return SearchResult(
+            best_chromosome=population[0],
+            best_fitness=fitnesses[0],
+            population=population,
+            fitnesses=fitnesses,
+            history=history,
+        )
+
+    def update(
+        self,
+        dataset: ProfileDataset,
+        generations: int = 5,
+        progress: Optional[Callable[[GenerationRecord], None]] = None,
+    ) -> SearchResult:
+        """Resume the search on an updated dataset (§3.3 model updates).
+
+        Warm-starts from the last population, so a handful of generations
+        re-specializes the model to newly profiled software.
+        """
+        if not self._population:
+            return self.run(dataset, generations, progress=progress)
+        return self.run(
+            dataset,
+            generations,
+            initial_population=self._population,
+            progress=progress,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _evaluate_population(
+        self,
+        population: List[Chromosome],
+        dataset: ProfileDataset,
+        names: Tuple[str, ...],
+    ) -> List[FitnessResult]:
+        # Common random numbers: every candidate (in every generation of a
+        # run) is scored on the *same* train/validation splits, so fitness
+        # differences reflect the specifications rather than split luck and
+        # elite fitness is stable across generations.  Validation in the
+        # experiments is always against independently sampled profiles.
+        jobs = [(c.to_spec(names), dataset, self._split_seed) for c in population]
+        if self.n_workers > 1:
+            import multiprocessing as mp
+
+            with mp.Pool(self.n_workers) as pool:
+                return pool.starmap(_evaluate_job, [(self.evaluator, *j) for j in jobs])
+        return [_evaluate_job(self.evaluator, *job) for job in jobs]
+
+    def _next_generation(self, ranked: List[Chromosome]) -> List[Chromosome]:
+        """Elites survive; the rest are crossover/mutation offspring.
+
+        Parents are drawn from the whole ranked population by binary
+        tournament (better of two uniform picks), which keeps selection
+        pressure without collapsing the population onto the elites —
+        preserving the interaction diversity the paper observes in its
+        best models (Figure 4).  Every offspring is guaranteed at least
+        one operator application so the non-elite fraction is genuinely
+        "populated with crossovers, mutations" (§3.3 pseudo-code).
+        """
+        n_elite = max(2, int(round(self.elite_fraction * self.population_size)))
+        children: List[Chromosome] = list(ranked[:n_elite])
+        rng = self.rng
+
+        def tournament() -> Chromosome:
+            i, j = rng.integers(0, len(ranked), size=2)
+            return ranked[int(min(i, j))]  # ranked is sorted best-first
+
+        operators = [
+            lambda a, b: crossover_variable(a, b, rng),
+            lambda a, b: crossover_interaction(a, b, rng),
+            lambda a, b: crossover_create_interaction(a, b, rng),
+            lambda a, b: (mutate_interaction(a, rng), b),
+            lambda a, b: (mutate_variable(a, rng), b),
+        ]
+        while len(children) < self.population_size:
+            a, b = tournament(), tournament()
+            applied = False
+            if rng.random() < CROSSOVER_RATE:
+                a, b = crossover_variable(a, b, rng)
+                applied = True
+            if rng.random() < CROSSOVER_RATE:
+                a, b = crossover_interaction(a, b, rng)
+                applied = True
+            if rng.random() < CROSSOVER_RATE:
+                a, b = crossover_create_interaction(a, b, rng)
+                applied = True
+            if rng.random() < MUTATION_RATE:
+                a = mutate_interaction(a, rng)
+                applied = True
+            if rng.random() < MUTATION_RATE:
+                a = mutate_variable(a, rng)
+                applied = True
+            if rng.random() < MUTATION_RATE:
+                b = mutate_interaction(b, rng)
+                applied = True
+            if rng.random() < MUTATION_RATE:
+                b = mutate_variable(b, rng)
+                applied = True
+            if not applied:
+                a, b = operators[int(rng.integers(0, len(operators)))](a, b)
+            children.append(a)
+            if len(children) < self.population_size:
+                children.append(b)
+        return children
+
+
+def _evaluate_job(evaluator, spec, dataset, seed) -> FitnessResult:
+    """Top-level evaluation shim (picklable for multiprocessing)."""
+    return evaluator(spec, dataset, np.random.default_rng(seed))

@@ -1,0 +1,105 @@
+"""Accuracy metrics matching the paper's evaluation (§4.3).
+
+Two views of accuracy:
+
+* **error distributions** — absolute percentage errors summarized by
+  boxplot statistics (median and quartiles), as in Figures 7, 10, 14;
+* **correlation** — Pearson/Spearman correlation between predicted and true
+  performance, "a better measure of accuracy in the context of
+  optimization" (Figure 8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+def absolute_percentage_errors(
+    predictions: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """|pred - true| / |true|, elementwise (fractions, not percent)."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    denom = np.abs(targets)
+    if (denom < 1e-30).any():
+        raise ValueError("targets must be non-zero for percentage errors")
+    return np.abs(predictions - targets) / denom
+
+
+def median_error(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Median absolute percentage error (fraction)."""
+    return float(np.median(absolute_percentage_errors(predictions, targets)))
+
+
+@dataclasses.dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary of an error distribution (fractions)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    n: int
+
+    @staticmethod
+    def from_errors(errors: np.ndarray) -> "BoxplotStats":
+        errors = np.asarray(errors, dtype=float)
+        if len(errors) == 0:
+            raise ValueError("cannot summarize an empty error sample")
+        q1, med, q3 = np.percentile(errors, [25, 50, 75])
+        return BoxplotStats(
+            minimum=float(errors.min()),
+            q1=float(q1),
+            median=float(med),
+            q3=float(q3),
+            maximum=float(errors.max()),
+            n=len(errors),
+        )
+
+    def row(self, label: str) -> str:
+        """One formatted table row (percentages), for benchmark reports."""
+        return (
+            f"{label:<18s} n={self.n:<5d} "
+            f"min={self.minimum:6.1%}  q1={self.q1:6.1%}  "
+            f"median={self.median:6.1%}  q3={self.q3:6.1%}  max={self.maximum:6.1%}"
+        )
+
+
+def pearson_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0 for degenerate inputs."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("inputs must have the same shape")
+    if len(a) < 2 or a.std() < 1e-30 or b.std() < 1e-30:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def spearman_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (ties broken by average rank)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return pearson_correlation(_average_ranks(a), _average_ranks(b))
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    ranks[order] = np.arange(len(values), dtype=float)
+    # Average tied groups.
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + j) / 2.0
+        i = j + 1
+    return ranks

@@ -1,0 +1,178 @@
+"""The inferred hardware-software performance model.
+
+:class:`InferredModel` bundles everything needed to go from a
+:class:`ModelSpec` and training profiles to predictions on new profiles:
+
+    spec --fit--> design matrix --collinearity pruning--> weighted OLS
+
+Collinearity elimination is integrated into fitting because redundant
+software variables routinely appear only once the design is constructed
+(§3.1); the pruning decisions are recorded and replayed at prediction time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.collinearity import prune_design
+from repro.core.dataset import ProfileDataset
+from repro.core.design import DesignMatrixBuilder, ModelSpec
+from repro.core.metrics import median_error, pearson_correlation
+from repro.core.regression import LinearFit, fit_ols
+from repro.core.transforms import TransformKind
+
+#: Response-scale transforms.  Performance responses (CPI, Mflop/s, power)
+#: are strictly positive with multiplicative structure, so regression on a
+#: log scale stabilizes residual variance — the response-side counterpart
+#: of the predictor transforms in §3.1 (and standard practice in the
+#: regression-modeling work the paper builds on, Lee & Brooks [26]).
+RESPONSE_TRANSFORMS = {
+    "identity": (lambda z: z, lambda z: z),
+    "log": (np.log, np.exp),
+    "sqrt": (np.sqrt, lambda z: z**2),
+}
+
+
+class InferredModel:
+    """A fitted performance model ``z = F(x, y) + eps``.
+
+    Use :meth:`fit` (classmethod) to construct; thereafter :meth:`predict`
+    maps datasets with the same variables to performance predictions.
+    """
+
+    def __init__(
+        self,
+        spec: ModelSpec,
+        builder: DesignMatrixBuilder,
+        kept_columns: List[int],
+        fit: LinearFit,
+        response: str = "log",
+    ):
+        self.spec = spec
+        self._builder = builder
+        self._kept_columns = kept_columns
+        self._fit = fit
+        self.response = response
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        spec: ModelSpec,
+        dataset: ProfileDataset,
+        weights: Optional[np.ndarray] = None,
+        response: str = "log",
+        auto_stabilize: bool = True,
+    ) -> "InferredModel":
+        """Fit ``spec`` to ``dataset`` (optionally weighted).
+
+        ``response`` selects the response-scale transform (see
+        :data:`RESPONSE_TRANSFORMS`); the default log scale suits strictly
+        positive performance metrics.  ``auto_stabilize`` toggles the
+        predictor-side power-ladder transform of §3.1 (exposed mainly for
+        the ablation studies).
+        """
+        if response not in RESPONSE_TRANSFORMS:
+            raise ValueError(
+                f"response must be one of {sorted(RESPONSE_TRANSFORMS)}, got {response!r}"
+            )
+        forward, _ = RESPONSE_TRANSFORMS[response]
+        targets = dataset.targets()
+        if response in ("log", "sqrt") and (targets <= 0).any():
+            raise ValueError(f"{response} response requires positive targets")
+
+        builder = DesignMatrixBuilder(spec, auto_stabilize=auto_stabilize)
+        design = builder.fit_transform(dataset)
+        if design.shape[1] == 0:
+            # Intercept-only model: legal, just weak.  Keeps the genetic
+            # search total — a degenerate chromosome scores poorly rather
+            # than crashing a generation.
+            pruned, names, kept = design, [], []
+        else:
+            pruned, names, kept = prune_design(design, builder.column_names)
+        linear_fit = fit_ols(pruned, forward(targets), names, weights)
+        return cls(spec, builder, kept, linear_fit, response)
+
+    # -- prediction ----------------------------------------------------------------
+
+    def predict(self, dataset: ProfileDataset) -> np.ndarray:
+        """Predicted performance for every record in ``dataset``."""
+        design = self._builder.transform(dataset)
+        if design.shape[1]:
+            design = design[:, self._kept_columns]
+        else:
+            design = np.empty((len(dataset), 0))
+        _, inverse = RESPONSE_TRANSFORMS[self.response]
+        linear = self._fit.predict(design)
+        if self.response == "log":
+            # Guard exp() against absurd extrapolations from degenerate
+            # candidate specs; the genetic search scores them poorly anyway.
+            linear = np.clip(linear, -50.0, 50.0)
+        return inverse(linear)
+
+    def predict_one(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Predict a single (x, y) point."""
+        from repro.core.dataset import ProfileRecord
+
+        names = self._builder.variable_names
+        if len(x) + len(y) != len(names):
+            raise ValueError(
+                f"expected {len(names)} values total, got {len(x)} + {len(y)}"
+            )
+        ds = ProfileDataset(names[: len(x)], names[len(x):])
+        ds.add(ProfileRecord("query", np.asarray(x), np.asarray(y), 0.0))
+        return float(self.predict(ds)[0])
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def score(self, dataset: ProfileDataset) -> Dict[str, float]:
+        """Median error and correlation on a validation dataset."""
+        predictions = self.predict(dataset)
+        targets = dataset.targets()
+        return {
+            "median_error": median_error(predictions, targets),
+            "correlation": pearson_correlation(predictions, targets),
+        }
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def coefficients(self) -> Dict[str, float]:
+        return self._fit.named_coefficients()
+
+    @property
+    def intercept(self) -> float:
+        return self._fit.intercept
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._fit.coefficients)
+
+    def transform_summary(self) -> Dict[str, List[str]]:
+        """Variables grouped by transformation — the paper's Table 3 view."""
+        groups: Dict[str, List[str]] = {
+            "un-used": [],
+            "linear": [],
+            "poly, degree 2": [],
+            "poly, degree 3": [],
+            "spline, 3 knots": [],
+        }
+        labels = {
+            TransformKind.EXCLUDED: "un-used",
+            TransformKind.LINEAR: "linear",
+            TransformKind.QUADRATIC: "poly, degree 2",
+            TransformKind.CUBIC: "poly, degree 3",
+            TransformKind.SPLINE: "spline, 3 knots",
+        }
+        for name, kind in self.spec.transforms.items():
+            groups[labels[kind]].append(name)
+        return groups
+
+    def __repr__(self) -> str:
+        return (
+            f"InferredModel({len(self.spec.included_variables)} variables, "
+            f"{len(self.spec.interactions)} interactions, {self.n_terms} terms)"
+        )

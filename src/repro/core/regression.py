@@ -1,0 +1,92 @@
+"""Ordinary and weighted least squares (§2.3).
+
+The basic regression ``z = b0 + b1 c1 + ... + bk ck + eps`` over design
+columns c, solved by numpy's (SVD-backed) least squares.  Weighted fits
+implement the paper's model-update step, which fits ``{P_-s, T_s} x w`` —
+the new application's training profiles replicated/weighted by w (§3.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class LinearFit:
+    """A fitted linear model over prepared design columns."""
+
+    intercept: float
+    coefficients: np.ndarray
+    column_names: Tuple[str, ...]
+
+    def predict(self, design: np.ndarray) -> np.ndarray:
+        design = np.asarray(design, dtype=float)
+        if design.ndim != 2 or design.shape[1] != len(self.coefficients):
+            raise ValueError(
+                f"design must be (n, {len(self.coefficients)}), got {design.shape}"
+            )
+        return self.intercept + design @ self.coefficients
+
+    def named_coefficients(self) -> dict:
+        return dict(zip(self.column_names, self.coefficients.tolist()))
+
+
+def fit_ols(
+    design: np.ndarray,
+    targets: np.ndarray,
+    column_names: Optional[Sequence[str]] = None,
+    weights: Optional[np.ndarray] = None,
+) -> LinearFit:
+    """Fit (optionally weighted) least squares with an intercept.
+
+    Weighted fitting minimizes ``sum_i w_i (z_i - f(c_i))^2`` via the usual
+    sqrt-weight row scaling.  Rank deficiency is tolerated (numpy lstsq
+    returns the minimum-norm solution), but callers should prune collinear
+    columns first for interpretable coefficients.
+    """
+    design = np.asarray(design, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if design.ndim != 2:
+        raise ValueError(f"design must be 2-D, got shape {design.shape}")
+    n, p = design.shape
+    if len(targets) != n:
+        raise ValueError(f"{n} rows but {len(targets)} targets")
+    if n == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if column_names is None:
+        column_names = tuple(f"c{j}" for j in range(p))
+    if len(column_names) != p:
+        raise ValueError("column_names length must match design width")
+
+    augmented = np.column_stack([np.ones(n), design])
+    rhs = targets
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if len(weights) != n:
+            raise ValueError(f"{n} rows but {len(weights)} weights")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        root = np.sqrt(weights)
+        augmented = augmented * root[:, None]
+        rhs = targets * root
+
+    solution, *_ = np.linalg.lstsq(augmented, rhs, rcond=None)
+    return LinearFit(
+        intercept=float(solution[0]),
+        coefficients=solution[1:].copy(),
+        column_names=tuple(column_names),
+    )
+
+
+def r_squared(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Coefficient of determination of predictions against targets."""
+    targets = np.asarray(targets, dtype=float)
+    predictions = np.asarray(predictions, dtype=float)
+    ss_res = float(((targets - predictions) ** 2).sum())
+    ss_tot = float(((targets - targets.mean()) ** 2).sum())
+    if ss_tot < 1e-30:
+        return 1.0 if ss_res < 1e-30 else 0.0
+    return 1.0 - ss_res / ss_tot

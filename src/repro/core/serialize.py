@@ -1,0 +1,158 @@
+"""Model serialization: deploy an inferred model without its training data.
+
+A fitted :class:`~repro.core.model.InferredModel` is a small, closed-form
+object — transform state (powers, knots, clamp ranges), pruning decisions,
+and regression coefficients.  Run-time managers (the datacenter scheduler,
+an adaptive chip controller) need to *ship* that object to where decisions
+are made; this module round-trips it through plain JSON.
+
+``save_model(model, path)`` / ``load_model(path)`` or the dict-level
+``model_to_dict`` / ``model_from_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.design import DesignMatrixBuilder, ModelSpec
+from repro.core.model import InferredModel
+from repro.core.regression import LinearFit
+from repro.core.transforms import FittedTransform, TransformKind
+
+FORMAT_VERSION = 1
+
+
+def _transform_to_dict(fitted: FittedTransform) -> dict:
+    return {
+        "kind": int(fitted.kind),
+        "power": fitted.power,
+        "knots": None if fitted.knots is None else list(map(float, fitted.knots)),
+        "center": fitted.center,
+        "scale": fitted.scale,
+        "low": _encode_inf(fitted.low),
+        "high": _encode_inf(fitted.high),
+    }
+
+
+def _transform_from_dict(payload: dict) -> FittedTransform:
+    knots = payload["knots"]
+    return FittedTransform(
+        kind=TransformKind(payload["kind"]),
+        power=payload["power"],
+        knots=None if knots is None else np.array(knots, dtype=float),
+        center=payload["center"],
+        scale=payload["scale"],
+        low=_decode_inf(payload["low"]),
+        high=_decode_inf(payload["high"]),
+    )
+
+
+def _encode_inf(value: float):
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return float(value)
+
+
+def _decode_inf(value) -> float:
+    if value in ("inf", "-inf"):
+        return float(value)
+    return float(value)
+
+
+def spec_to_dict(spec: ModelSpec) -> dict:
+    return {
+        "transforms": {name: int(kind) for name, kind in spec.transforms.items()},
+        "interactions": sorted(list(pair) for pair in spec.interactions),
+    }
+
+
+def spec_from_dict(payload: dict) -> ModelSpec:
+    return ModelSpec(
+        transforms={
+            name: TransformKind(kind)
+            for name, kind in payload["transforms"].items()
+        },
+        interactions=frozenset(tuple(pair) for pair in payload["interactions"]),
+    )
+
+
+def model_to_dict(model: InferredModel) -> dict:
+    """Serialize a fitted model to a JSON-compatible dict."""
+    builder = model._builder
+    if not builder.is_fitted:
+        raise ValueError("cannot serialize an unfitted model")
+    return {
+        "format": FORMAT_VERSION,
+        "spec": spec_to_dict(model.spec),
+        "response": model.response,
+        "auto_stabilize": builder.auto_stabilize,
+        "variable_names": list(builder.variable_names),
+        "fitted": {
+            name: _transform_to_dict(fitted)
+            for name, fitted in builder._fitted.items()
+        },
+        "linear_views": {
+            name: _transform_to_dict(fitted)
+            for name, fitted in builder._linear_views.items()
+        },
+        "columns": list(builder._columns),
+        "kept_columns": list(model._kept_columns),
+        "fit": {
+            "intercept": model._fit.intercept,
+            "coefficients": list(map(float, model._fit.coefficients)),
+            "column_names": list(model._fit.column_names),
+        },
+    }
+
+
+def model_from_dict(payload: dict) -> InferredModel:
+    """Reconstruct a fitted model from :func:`model_to_dict` output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {payload.get('format')!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    spec = spec_from_dict(payload["spec"])
+    builder = DesignMatrixBuilder(spec, auto_stabilize=payload["auto_stabilize"])
+    builder._variable_names = tuple(payload["variable_names"])
+    builder._fitted = {
+        name: _transform_from_dict(entry)
+        for name, entry in payload["fitted"].items()
+    }
+    builder._linear_views = {
+        name: _transform_from_dict(entry)
+        for name, entry in payload["linear_views"].items()
+    }
+    builder._columns = list(payload["columns"])
+    builder._is_fitted = True
+
+    fit = LinearFit(
+        intercept=payload["fit"]["intercept"],
+        coefficients=np.array(payload["fit"]["coefficients"], dtype=float),
+        column_names=tuple(payload["fit"]["column_names"]),
+    )
+    return InferredModel(
+        spec=spec,
+        builder=builder,
+        kept_columns=list(payload["kept_columns"]),
+        fit=fit,
+        response=payload["response"],
+    )
+
+
+def save_model(model: InferredModel, path: Union[str, Path]) -> None:
+    """Write a fitted model to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(model_to_dict(model), indent=2))
+
+
+def load_model(path: Union[str, Path]) -> InferredModel:
+    """Read a fitted model from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    return model_from_dict(payload)

@@ -1,0 +1,26 @@
+"""Per-table/figure experiment drivers.
+
+Each module exposes ``run(scale=None, seed=...)`` returning a result
+dataclass and ``report(result)`` formatting the rows/series the paper
+reports.  ``benchmarks/`` wraps each driver in a pytest-benchmark target;
+results are cached under ``.cache/`` so repeated runs are cheap.
+
+=====================  ============================================
+Module                 Paper artifact
+=====================  ============================================
+``fig03_variance``     Figure 3 — long-tailed locality, x**(1/5)
+``fig04_interactions`` Figure 4 — interaction frequency heatmap
+``fig05_convergence``  Figure 5 — GA convergence
+``table3_transforms``  Table 3 — transformations after 20 generations
+``sec42_baselines``    §4.2 — genetic vs manual (and stepwise)
+``fig07_08_accuracy``  Figures 7 & 8 — interpolation/extrapolation
+``fig09_outliers``     Figure 9 — bwaves as a behavioral outlier
+``fig10_shards``       Figure 10 — shard-level extrapolation
+``sec43_cost``         §4.3 — reduced profiling costs
+``fig12_13_trends``    Figures 12 & 13 — SpMV parameter trends
+``fig14_spmv``         Figure 14 — SpMV model accuracy (perf & power)
+``fig15_topology``     Figure 15 — profiled vs predicted topology
+``fig16_tuning``       Figure 16 — coordinated optimization
+``ablations``          design-choice ablations (extension)
+=====================  ============================================
+"""

@@ -1,0 +1,101 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig05 [--scale small|bench|full]
+    python -m repro.experiments all  [--scale small|bench|full]
+
+Each experiment prints the rows/series of the corresponding paper table or
+figure.  Results are cached under ``.cache/``, so re-running is cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments.common import SCALES, current_scale
+
+#: Experiment id -> (module name, description).
+EXPERIMENTS = {
+    "fig03": ("fig03_variance", "Figure 3 — variance stabilization"),
+    "fig04": ("fig04_interactions", "Figure 4 — interaction frequencies"),
+    "fig05": ("fig05_convergence", "Figure 5 — genetic convergence"),
+    "table3": ("table3_transforms", "Table 3 — selected transformations"),
+    "sec42": ("sec42_baselines", "Section 4.2 — genetic vs manual/stepwise"),
+    "fig07-08": ("fig07_08_accuracy", "Figures 7-8 — accuracy in all scenarios"),
+    "fig09": ("fig09_outliers", "Figure 9 — the bwaves outlier"),
+    "fig10": ("fig10_shards", "Figure 10 — shard-level extrapolation"),
+    "sec43": ("sec43_cost", "Section 4.3 — profiling cost reduction"),
+    "fig12-13": ("fig12_13_trends", "Figures 12-13 — SpMV trends"),
+    "fig14": ("fig14_spmv", "Figure 14 — SpMV model accuracy"),
+    "fig15": ("fig15_topology", "Figure 15 — performance topology"),
+    "fig16": ("fig16_tuning", "Figure 16 — coordinated tuning"),
+    "ablations": ("ablations", "Ablations — sharding, stabilization, response scale, synthetic coverage"),
+    "ext-memory": ("ext_memory", "Extension — memory-behavior characteristics x14..x17"),
+    "val-timing": ("val_timing", "Validation — interval model vs cycle-level simulation"),
+}
+
+
+def run_experiment(key: str, scale, svg_dir=None) -> str:
+    module_name, _ = EXPERIMENTS[key]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    result = module.run(scale)
+    report = module.report(result)
+    if svg_dir is not None:
+        from repro.viz import render
+
+        written = render(key, result, svg_dir)
+        if written:
+            report += "\n  [svg] " + ", ".join(str(p) for p in written)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale (default: $REPRO_SCALE or 'bench')",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        default=None,
+        help="also render the experiment's figures as SVG files into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, (_, description) in EXPERIMENTS.items():
+            print(f"  {key:<10s} {description}")
+        return 0
+
+    scale = current_scale(args.scale)
+    keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [k for k in keys if k not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    for key in keys:
+        start = time.time()
+        report = run_experiment(key, scale, args.svg)
+        print(f"\n[{key} @ scale={scale.name}, {time.time() - start:.1f}s]")
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

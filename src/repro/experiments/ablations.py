@@ -1,0 +1,199 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four ablations, each isolating one ingredient of the methodology:
+
+1. **Sharding vs. monolithic profiles** (§2.1) — replace every shard's
+   Table 1 vector with its application's *average* vector (a monolithic
+   application profile) at both train and prediction time.  The paper
+   argues monolithic profiles "obscure intra-application diversity" and
+   weaken sharing.
+2. **Variance stabilization** (§3.1, Figure 3) — disable the automatic
+   power-ladder transform, feeding raw long-tailed characteristics to the
+   regression.
+3. **Response scale** — fit the same specification on the identity scale
+   instead of the log scale (the response-side analogue of predictor
+   stabilization).
+4. **Synthetic-coverage augmentation** (§4.5 future work) — when
+   extrapolating the outlier application bwaves with *no* bwaves profiles,
+   augment training with uniformly sampled synthetic benchmarks
+   (:func:`repro.workloads.random_behavior_spec`) so the software space is
+   covered, and measure how far the outlier's error falls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import (
+    InferredModel,
+    ProfileDataset,
+    ProfileRecord,
+    median_error,
+)
+from repro.experiments.common import (
+    GeneralStudy,
+    Scale,
+    build_general_dataset,
+    cached,
+    current_scale,
+    empty_general_dataset,
+    run_genetic_search,
+)
+from repro.uarch import sample_configs
+from repro.workloads import random_behavior_spec
+
+#: Synthetic benchmarks added in the coverage ablation.
+N_SYNTHETIC = 10
+
+
+@dataclasses.dataclass
+class AblationResult:
+    baseline_error: float               # full methodology, interpolation
+    monolithic_error: float             # ablation 1
+    unstabilized_error: float           # ablation 2
+    identity_response_error: float      # ablation 3
+    outlier_error_plain: float          # bwaves extrapolation, no coverage
+    outlier_error_augmented: float      # with synthetic coverage
+
+
+def run(scale: Optional[Scale] = None, seed: int = 2012) -> AblationResult:
+    scale = scale or current_scale()
+
+    def build():
+        train, val = build_general_dataset(scale, seed)
+        search_result = run_genetic_search(train, scale, seed=7)
+        spec = search_result.best_chromosome.to_spec(train.variable_names)
+
+        baseline = InferredModel.fit(spec, train).score(val)["median_error"]
+
+        # --- ablation 1: monolithic application profiles -------------------
+        mono_train = _monolithic(train)
+        mono_val = _monolithic(val, reference=train)
+        monolithic = InferredModel.fit(spec, mono_train).score(mono_val)[
+            "median_error"
+        ]
+
+        # --- ablation 2: no variance stabilization --------------------------
+        unstabilized = InferredModel.fit(
+            spec, train, auto_stabilize=False
+        ).score(val)["median_error"]
+
+        # --- ablation 3: identity response scale -----------------------------
+        identity = InferredModel.fit(spec, train, response="identity").score(
+            val
+        )["median_error"]
+
+        # --- ablation 4: synthetic coverage for the outlier ------------------
+        plain, augmented = _outlier_coverage(spec, scale, seed)
+        return AblationResult(
+            baseline_error=baseline,
+            monolithic_error=monolithic,
+            unstabilized_error=unstabilized,
+            identity_response_error=identity,
+            outlier_error_plain=plain,
+            outlier_error_augmented=augmented,
+        )
+
+    return cached(f"ablations-v12|{scale.name}|{seed}", build)
+
+
+def _monolithic(
+    dataset: ProfileDataset, reference: Optional[ProfileDataset] = None
+) -> ProfileDataset:
+    """Replace each record's x with its application's mean x.
+
+    ``reference`` supplies the application means (training-time profiles);
+    applications absent from the reference fall back to their own mean.
+    """
+    source = reference or dataset
+    means: Dict[str, np.ndarray] = {}
+    for app, group in source.by_application().items():
+        means[app] = np.mean([r.x for r in group.records], axis=0)
+    for app, group in dataset.by_application().items():
+        means.setdefault(app, np.mean([r.x for r in group.records], axis=0))
+
+    out = ProfileDataset(dataset.x_names, dataset.y_names)
+    for record in dataset.records:
+        out.add(
+            ProfileRecord(
+                record.application,
+                means[record.application],
+                record.y,
+                record.z,
+                tag=record.tag,
+            )
+        )
+    return out
+
+
+def _outlier_coverage(spec, scale: Scale, seed: int):
+    """bwaves leave-one-out error, with and without synthetic coverage."""
+    study = GeneralStudy(scale, seed)
+    rng = np.random.default_rng(seed + 1300)
+    apps = [a for a in study.applications() if a != "bwaves"]
+
+    train = empty_general_dataset()
+    for app in apps:
+        configs = sample_configs(scale.configs_per_app, rng)
+        train.extend(study.sample_records(app, configs, rng))
+
+    per_synthetic = max(4, scale.configs_per_app // 4)
+    synthetic = empty_general_dataset()
+    for k in range(N_SYNTHETIC):
+        bench = random_behavior_spec(
+            np.random.default_rng(seed + 1400 + k), name=f"synthetic{k:02d}"
+        )
+        study._shards.pop(bench.name, None)
+        study.shards(bench.name, bench)
+        configs = sample_configs(per_synthetic, rng)
+        synthetic.extend(study.sample_records(bench.name, configs, rng))
+
+    n_val = max(10, scale.validation_pairs // 2)
+    val_records = study.sample_records("bwaves", sample_configs(n_val, rng), rng)
+    probe = ProfileDataset(train.x_names, train.y_names, val_records)
+
+    plain_model = InferredModel.fit(spec, train)
+    plain = median_error(plain_model.predict(probe), probe.targets())
+
+    # "If synthetic benchmarks were used, they would need to be coordinated
+    # with real application profiles" (§4.5): simply refitting the old
+    # specification on wildly more diverse data is not coordination — the
+    # heuristic re-specifies the model for the augmented space.
+    augmented_train = ProfileDataset.merge([train, synthetic])
+    augmented_search = run_genetic_search(
+        augmented_train,
+        scale,
+        seed=seed + 9,
+        generations=max(2, scale.generations // 2),
+        tag="ablation-augmented",
+    )
+    augmented_spec = augmented_search.best_chromosome.to_spec(
+        augmented_train.variable_names
+    )
+    augmented_model = InferredModel.fit(augmented_spec, augmented_train)
+    augmented = median_error(augmented_model.predict(probe), probe.targets())
+    return float(plain), float(augmented)
+
+
+def report(result: AblationResult) -> str:
+    def row(label, value, baseline):
+        delta = value / baseline if baseline else float("nan")
+        return f"  {label:<44s} {value:7.1%}   ({delta:4.1f}x baseline)"
+
+    base = result.baseline_error
+    lines = [
+        "Ablations — what each design ingredient buys",
+        row("full methodology (interpolation)", base, base),
+        row("1. monolithic application profiles (§2.1)", result.monolithic_error, base),
+        row("2. no variance stabilization (§3.1)", result.unstabilized_error, base),
+        row("3. identity response scale", result.identity_response_error, base),
+        "",
+        "  outlier extrapolation (bwaves, no bwaves profiles):",
+        f"  {'real applications only':<44s} {result.outlier_error_plain:7.1%}",
+        f"  {'+ 10 synthetic coverage benchmarks (§4.5)':<44s} "
+        f"{result.outlier_error_augmented:7.1%}",
+    ]
+    return "\n".join(lines)

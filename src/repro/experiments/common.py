@@ -1,0 +1,259 @@
+"""Shared experiment infrastructure: scales, caching, dataset builders.
+
+Every paper experiment runs at one of three scales:
+
+* ``small``  — seconds; used by the test suite;
+* ``bench``  — the default for ``pytest benchmarks/``; minutes in total;
+* ``full``   — the paper's sample counts (360 architectures/application,
+  population 50, 20 generations); select with ``REPRO_SCALE=full``.
+
+Expensive artifacts (shard statistics, sampled profile datasets, genetic
+search results, SpMV simulations) are pickled under ``.cache/`` keyed by a
+hash of all generating parameters, so repeated benchmark runs are fast and
+reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ProfileDataset, ProfileRecord
+from repro.profiling import SOFTWARE_VARIABLE_NAMES
+from repro.profiling.shards import ShardProfile
+from repro.uarch import HARDWARE_VARIABLE_NAMES, PipelineConfig, Simulator, sample_configs
+from repro.workloads import generate_trace, spec2006_suite
+
+SHARD_LENGTH = 10_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs."""
+
+    name: str
+    configs_per_app: int        # architectures profiled per application
+    shards_per_app: int         # shards generated per application
+    population: int             # GA population size
+    generations: int            # GA generations
+    validation_pairs: int       # held-out application-architecture pairs
+    spmv_train: int             # SpMV training samples per matrix
+    spmv_val: int               # SpMV validation samples per matrix
+    tuning_caches: int          # candidate caches for architecture tuning
+
+
+SCALES: Dict[str, Scale] = {
+    "small": Scale("small", 40, 8, 10, 3, 40, 60, 20, 12),
+    "bench": Scale("bench", 140, 24, 30, 12, 140, 240, 60, 40),
+    "full": Scale("full", 360, 45, 50, 20, 140, 400, 100, 80),
+}
+
+
+def current_scale(override: Optional[str] = None) -> Scale:
+    """The active scale: explicit override, else $REPRO_SCALE, else bench."""
+    name = override or os.environ.get("REPRO_SCALE", "bench")
+    if name not in SCALES:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+    return SCALES[name]
+
+
+# --------------------------------------------------------------------------------------
+# Disk cache
+# --------------------------------------------------------------------------------------
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached(key: str, build: Callable[[], object], refresh: bool = False):
+    """Fetch-or-build a pickled artifact keyed by ``key``."""
+    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+    path = cache_dir() / f"{digest}.pkl"
+    if path.exists() and not refresh:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    value = build()
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(value, handle)
+    tmp.replace(path)
+    return value
+
+
+# --------------------------------------------------------------------------------------
+# General-study corpus: traces, shard profiles, simulator
+# --------------------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ApplicationCorpus:
+    """One application's shards, their Table 1 profiles, and shard stats."""
+
+    name: str
+    profiles: List[ShardProfile]
+    shard_keys: List[str]
+
+
+class GeneralStudy:
+    """Lazily built corpus of traces + profiles for the SPEC-like suite.
+
+    The :class:`Simulator`'s per-shard statistics are the expensive part;
+    they are built once per (application, shards, seed) and pickled.
+    """
+
+    def __init__(self, scale: Scale, seed: int = 2012):
+        self.scale = scale
+        self.seed = seed
+        self.simulator = Simulator()
+        self._shards: Dict[str, list] = {}
+        self._profiles: Dict[str, List[ShardProfile]] = {}
+
+    # -- trace/profile access --------------------------------------------------------
+
+    def applications(self) -> Tuple[str, ...]:
+        return tuple(spec2006_suite())
+
+    def shards(self, application: str, spec=None):
+        """Shard traces of one application (generated deterministically)."""
+        key = application
+        if key not in self._shards:
+            spec = spec or spec2006_suite()[application]
+            n = self.scale.shards_per_app * SHARD_LENGTH
+            trace = generate_trace(spec, n, seed=self.seed, shard_length=SHARD_LENGTH)
+            self._shards[key] = trace.shards(SHARD_LENGTH)
+        return self._shards[key]
+
+    def profiles(self, application: str, spec=None) -> List[ShardProfile]:
+        if application not in self._profiles:
+            shards = self.shards(application, spec)
+            self._profiles[application] = [
+                ShardProfile(application, i, p.x)
+                for i, p in enumerate(
+                    profile_application_shards(shards, application)
+                )
+            ]
+        return self._profiles[application]
+
+    def warm_stats(self, application: str) -> None:
+        """Precompute simulator statistics for an application's shards."""
+        for shard in self.shards(application):
+            self.simulator.stats_for(shard)
+
+    # -- profile-record construction ------------------------------------------------
+
+    def record(
+        self, application: str, shard_index: int, config: PipelineConfig
+    ) -> ProfileRecord:
+        shards = self.shards(application)
+        profiles = self.profiles(application)
+        z = self.simulator.cpi(shards[shard_index], config)
+        return ProfileRecord(
+            application,
+            profiles[shard_index].x,
+            config.as_vector(),
+            z,
+            tag=f"{profiles[shard_index].key}/{config.key}",
+        )
+
+    def sample_records(
+        self,
+        application: str,
+        configs: Sequence[PipelineConfig],
+        rng: np.random.Generator,
+    ) -> List[ProfileRecord]:
+        """One record per config, each on a random shard of the application."""
+        n_shards = len(self.shards(application))
+        return [
+            self.record(application, int(rng.integers(0, n_shards)), config)
+            for config in configs
+        ]
+
+
+def profile_application_shards(shards, application: str):
+    """Profile already-split shards (keeps shard indices aligned)."""
+    from repro.profiling import profile_shard
+
+    return [
+        ShardProfile(application, i, profile_shard(shard))
+        for i, shard in enumerate(shards)
+    ]
+
+
+def empty_general_dataset() -> ProfileDataset:
+    return ProfileDataset(SOFTWARE_VARIABLE_NAMES, HARDWARE_VARIABLE_NAMES)
+
+
+def build_general_dataset(
+    scale: Scale,
+    seed: int = 2012,
+    applications: Optional[Sequence[str]] = None,
+) -> Tuple[ProfileDataset, ProfileDataset]:
+    """(training, validation) datasets for the general study.
+
+    Training: per application, ``scale.configs_per_app`` random
+    architectures, each with a random shard.  Validation: an independent
+    random sample of ``scale.validation_pairs`` application-architecture
+    pairs.  Both are cached.
+    """
+    apps = tuple(applications or spec2006_suite())
+
+    def build():
+        study = GeneralStudy(scale, seed)
+        rng = np.random.default_rng(seed)
+        train = empty_general_dataset()
+        val = empty_general_dataset()
+        for app in apps:
+            configs = sample_configs(scale.configs_per_app, rng)
+            for record in study.sample_records(app, configs, rng):
+                train.add(record)
+        per_app_val = max(1, scale.validation_pairs // len(apps))
+        for app in apps:
+            configs = sample_configs(per_app_val, rng)
+            for record in study.sample_records(app, configs, rng):
+                val.add(record)
+        return train, val
+
+    key = f"general-dataset-v12|{scale.name}|{seed}|{','.join(apps)}"
+    return cached(key, build)
+
+
+def run_genetic_search(
+    dataset: ProfileDataset,
+    scale: Scale,
+    seed: int = 7,
+    generations: Optional[int] = None,
+    tag: str = "main",
+):
+    """Run (or recall) the genetic search on a dataset."""
+    from repro.core import GeneticSearch
+
+    gens = generations if generations is not None else scale.generations
+
+    def build():
+        from repro.core import chromosome_from_spec, manual_general_spec
+
+        search = GeneticSearch(population_size=scale.population, seed=seed)
+        initial = None
+        try:
+            initial = [
+                chromosome_from_spec(manual_general_spec(), dataset.variable_names)
+            ]
+        except ValueError:
+            pass  # non-general variable set: start fully random
+        return search.run(dataset, gens, initial_population=initial)
+
+    key = (
+        f"ga-v12|{scale.name}|{seed}|{gens}|{len(dataset)}|{tag}|"
+        f"{hashlib.sha256(dataset.targets().tobytes()).hexdigest()[:16]}"
+    )
+    return cached(key, build)

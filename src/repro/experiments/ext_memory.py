@@ -1,0 +1,164 @@
+"""Extension — memory-behavior characteristics for memory-bound software.
+
+The paper's §4.1/§7 future work, implemented and measured: augment the
+Table 1 vector with four portable memory-behavior measures (x14..x17, see
+:mod:`repro.profiling.extended`) and re-run the leave-one-application-out
+extrapolation that Figure 10 showed to be hardest for the memory-bound
+applications (omnetpp and gemsFDTD in this substrate).
+
+Protocol: identical genetic-search budget on the 13-variable and the
+17-variable spaces; identical training/validation samples; compare overall
+and memory-bound-application median errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import (
+    InferredModel,
+    ProfileDataset,
+    ProfileRecord,
+    absolute_percentage_errors,
+)
+from repro.experiments.common import (
+    GeneralStudy,
+    Scale,
+    cached,
+    current_scale,
+    run_genetic_search,
+)
+from repro.profiling.extended import EXTENDED_VARIABLE_NAMES, profile_shard_extended
+from repro.uarch import HARDWARE_VARIABLE_NAMES, sample_configs
+
+MEMORY_BOUND = ("omnetpp", "gemsFDTD")
+
+
+@dataclasses.dataclass
+class ExtMemoryResult:
+    base_overall: float                   # median error, 13 characteristics
+    extended_overall: float               # median error, 17 characteristics
+    base_memory_bound: Dict[str, float]   # per memory-bound app medians
+    extended_memory_bound: Dict[str, float]
+
+
+def run(scale: Optional[Scale] = None, seed: int = 2012) -> ExtMemoryResult:
+    scale = scale or current_scale()
+
+    def build():
+        study = GeneralStudy(scale, seed)
+        rng = np.random.default_rng(seed + 1500)
+        apps = study.applications()
+
+        # Extended profiles once per shard; the 13-var view is a prefix.
+        extended_x = {
+            app: [profile_shard_extended(s) for s in study.shards(app)]
+            for app in apps
+        }
+
+        def datasets(names, width):
+            """(train-by-heldout, val-by-heldout) record lists."""
+            rng_local = np.random.default_rng(seed + 1600)
+            train: Dict[str, list] = {app: [] for app in apps}
+            val: Dict[str, list] = {}
+            for held_out in apps:
+                records = []
+                for app in apps:
+                    if app == held_out:
+                        continue
+                    for config in sample_configs(scale.configs_per_app, rng_local):
+                        i = int(rng_local.integers(0, len(extended_x[app])))
+                        z = study.simulator.cpi(study.shards(app)[i], config)
+                        records.append(
+                            ProfileRecord(
+                                app, extended_x[app][i][:width],
+                                config.as_vector(), z,
+                            )
+                        )
+                train[held_out] = records
+                probes = []
+                n_val = max(6, scale.validation_pairs // len(apps))
+                for config in sample_configs(n_val, rng_local):
+                    i = int(rng_local.integers(0, len(extended_x[held_out])))
+                    z = study.simulator.cpi(study.shards(held_out)[i], config)
+                    probes.append(
+                        ProfileRecord(
+                            held_out, extended_x[held_out][i][:width],
+                            config.as_vector(), z,
+                        )
+                    )
+                val[held_out] = probes
+            return train, val
+
+        def evaluate(names, width, tag):
+            train, val = datasets(names, width)
+            # One shared specification, searched on an all-application pool
+            # (the steady-state model of §3.2); each leave-one-out round
+            # then refits its coefficients without the held-out app.
+            rng_pool = np.random.default_rng(seed + 1700)
+            pooled = ProfileDataset(names, HARDWARE_VARIABLE_NAMES)
+            for app in apps:
+                for config in sample_configs(scale.configs_per_app, rng_pool):
+                    i = int(rng_pool.integers(0, len(extended_x[app])))
+                    z = study.simulator.cpi(study.shards(app)[i], config)
+                    pooled.add(
+                        ProfileRecord(
+                            app, extended_x[app][i][:width],
+                            config.as_vector(), z,
+                        )
+                    )
+            search = run_genetic_search(
+                pooled, scale, seed=seed + 17, tag=f"ext-memory-{tag}"
+            )
+            spec = search.best_chromosome.to_spec(pooled.variable_names)
+
+            per_app: Dict[str, float] = {}
+            all_errors = []
+            for held_out in apps:
+                fit_ds = ProfileDataset(
+                    names, HARDWARE_VARIABLE_NAMES, train[held_out]
+                )
+                probe = ProfileDataset(
+                    names, HARDWARE_VARIABLE_NAMES, val[held_out]
+                )
+                model = InferredModel.fit(spec, fit_ds)
+                errors = absolute_percentage_errors(
+                    model.predict(probe), probe.targets()
+                )
+                per_app[held_out] = float(np.median(errors))
+                all_errors.append(errors)
+            overall = float(np.median(np.concatenate(all_errors)))
+            return overall, per_app
+
+        base_names = EXTENDED_VARIABLE_NAMES[:13]
+        base_overall, base_per_app = evaluate(base_names, 13, "base")
+        ext_overall, ext_per_app = evaluate(EXTENDED_VARIABLE_NAMES, 17, "ext")
+
+        return ExtMemoryResult(
+            base_overall=base_overall,
+            extended_overall=ext_overall,
+            base_memory_bound={a: base_per_app[a] for a in MEMORY_BOUND},
+            extended_memory_bound={a: ext_per_app[a] for a in MEMORY_BOUND},
+        )
+
+    return cached(f"extmem-v12|{scale.name}|{seed}", build)
+
+
+def report(result: ExtMemoryResult) -> str:
+    lines = [
+        "Extension — memory-behavior characteristics (x14..x17, §4.1/§7)",
+        "  leave-one-application-out extrapolation, identical GA budget:",
+        f"  {'':<24s} {'13 chars':>9s} {'17 chars':>9s}",
+        f"  {'overall median':<24s} {result.base_overall:>9.1%} "
+        f"{result.extended_overall:>9.1%}",
+    ]
+    for app in MEMORY_BOUND:
+        lines.append(
+            f"  {app + ' (memory-bound)':<24s} "
+            f"{result.base_memory_bound[app]:>9.1%} "
+            f"{result.extended_memory_bound[app]:>9.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Figure 3 — heteroscedastic software behavior and variance stabilization.
+
+Each SPEC-like shard reports the *sum* of its re-use distances for 256B
+data blocks.  The raw per-shard sums form a long-tailed, right-skewed
+distribution (outliers an order of magnitude above the mode); transforming
+x -> x**(1/5) stabilizes the variance and symmetrizes the histogram.
+
+The driver reproduces both panels as histograms and quantifies the claim
+with skewness before/after, plus the automatically chosen ladder power.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import choose_ladder_power, skewness, stabilize
+from repro.experiments.common import GeneralStudy, Scale, cached, current_scale
+from repro.profiling import reuse_distance_sums
+
+FIGURE3_BLOCK_BYTES = 256
+FIGURE3_POWER = 5
+
+
+@dataclasses.dataclass
+class Fig3Result:
+    sums: np.ndarray                  # per-shard sum of re-use distances
+    raw_skewness: float
+    transformed_skewness: float
+    chosen_power: int
+    raw_histogram: Tuple[np.ndarray, np.ndarray]
+    transformed_histogram: Tuple[np.ndarray, np.ndarray]
+    tail_ratio: float                 # p99 / mode of the raw distribution
+
+
+def run(scale: Optional[Scale] = None, seed: int = 2012) -> Fig3Result:
+    scale = scale or current_scale()
+
+    def build():
+        study = GeneralStudy(scale, seed)
+        sums: List[float] = []
+        for app in study.applications():
+            for shard in study.shards(app):
+                positions = np.flatnonzero(shard.memory_mask())
+                sums.append(
+                    reuse_distance_sums(
+                        shard.addr[positions], positions, FIGURE3_BLOCK_BYTES
+                    )
+                )
+        return np.array(sums)
+
+    sums = cached(f"fig03-v12|{scale.name}|{seed}", build)
+    transformed = stabilize(sums, FIGURE3_POWER)
+
+    raw_hist = np.histogram(sums, bins=30)
+    tr_hist = np.histogram(transformed, bins=30)
+    counts, edges = raw_hist
+    mode = edges[np.argmax(counts)] or edges[np.argmax(counts) + 1]
+    return Fig3Result(
+        sums=sums,
+        raw_skewness=skewness(sums),
+        transformed_skewness=skewness(transformed),
+        chosen_power=choose_ladder_power(sums),
+        raw_histogram=raw_hist,
+        transformed_histogram=tr_hist,
+        tail_ratio=float(np.percentile(sums, 99) / max(mode, 1.0)),
+    )
+
+
+def report(result: Fig3Result) -> str:
+    lines = [
+        "Figure 3 — sum of 256B-block re-use distances per shard",
+        f"  shards: {len(result.sums)}",
+        f"  raw skewness:          {result.raw_skewness:8.2f}   (long right tail)",
+        f"  x^(1/5) skewness:      {result.transformed_skewness:8.2f}   (stabilized)",
+        f"  auto-chosen power n:   {result.chosen_power:8d}   (paper uses 5)",
+        f"  p99 / modal bin:       {result.tail_ratio:8.1f}x  (paper: ~10x outliers)",
+        "",
+        "  (a) raw histogram (30 bins):",
+        _ascii_hist(result.raw_histogram),
+        "  (b) x^(1/5) histogram (30 bins):",
+        _ascii_hist(result.transformed_histogram),
+    ]
+    return "\n".join(lines)
+
+
+def _ascii_hist(histogram, width: int = 48) -> str:
+    counts, edges = histogram
+    peak = max(int(counts.max()), 1)
+    rows = []
+    for count, lo in zip(counts, edges[:-1]):
+        bar = "#" * int(round(width * count / peak))
+        rows.append(f"    {lo:12.3g} |{bar}")
+    return "\n".join(rows)

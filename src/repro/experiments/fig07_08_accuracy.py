@@ -1,0 +1,319 @@
+"""Figures 7 & 8 — prediction accuracy in three scenarios.
+
+(a) **Interpolation, steady state** — the integrated HW-SW space is
+    sparsely profiled; an automated model predicts independently sampled
+    application-architecture pairs.  Paper: median error ~5%, rho > 0.9
+    (140 validation pairs; ~360 architectures per application train).
+
+(b) **Extrapolation, software variants and new software** — the system is
+    perturbed by compiler-optimization variants (-O1/-O3), input variants
+    (-v1/-v2/-v3), or a fundamentally new application (leave-one-out).  The
+    model is *updated* (§3.2-§3.3): a handful of the newcomer's profiles
+    join the training set with elevated weight and coefficients are refit
+    under the steady-state specification.  Paper: medians ~8% (variants,
+    150 pairs) and ~6% (new applications, 140 pairs), rho >= 0.9.
+
+(c) **Extrapolation, new hardware + new software** — validation
+    architectures are drawn from a design-space corner excluded from all
+    training.  Paper: trends still captured, rho >= 0.9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import (
+    BoxplotStats,
+    InferredModel,
+    ProfileDataset,
+    absolute_percentage_errors,
+    pearson_correlation,
+)
+from repro.experiments.common import (
+    GeneralStudy,
+    Scale,
+    build_general_dataset,
+    cached,
+    current_scale,
+    empty_general_dataset,
+    run_genetic_search,
+)
+from repro.uarch import sample_configs
+from repro.uarch.config import config_from_levels, _LEVEL_COUNTS
+from repro.workloads import input_variant, optimization_variant, spec2006_suite
+
+#: Profiles of a newcomer absorbed before refitting (§3.3: 10-20 points).
+UPDATE_PROFILES = 15
+UPDATE_WEIGHT = 3.0
+
+
+@dataclasses.dataclass
+class ScenarioAccuracy:
+    name: str
+    errors: BoxplotStats
+    correlation: float
+    n_pairs: int
+
+
+@dataclasses.dataclass
+class Fig78Result:
+    interpolation: ScenarioAccuracy
+    variant_extrapolation: ScenarioAccuracy
+    new_software: ScenarioAccuracy
+    new_hardware_software: ScenarioAccuracy
+
+
+def run(scale: Optional[Scale] = None, seed: int = 2012) -> Fig78Result:
+    scale = scale or current_scale()
+
+    def build():
+        train, val = build_general_dataset(scale, seed)
+        search_result = run_genetic_search(train, scale, seed=7)
+        spec = search_result.best_chromosome.to_spec(train.variable_names)
+
+        interp = _interpolation(spec, train, val)
+        variants = _variant_extrapolation(spec, train, scale, seed)
+        new_sw = _new_software(spec, scale, seed)
+        new_hwsw = _new_hardware_software(spec, scale, seed)
+        return Fig78Result(interp, variants, new_sw, new_hwsw)
+
+    return cached(f"fig0708-v12|{scale.name}|{seed}", build)
+
+
+# --------------------------------------------------------------------------------------
+# Scenario (a): interpolation
+# --------------------------------------------------------------------------------------
+
+
+def _interpolation(spec, train, val) -> ScenarioAccuracy:
+    model = InferredModel.fit(spec, train)
+    return _accuracy("interpolation", model, val)
+
+
+# --------------------------------------------------------------------------------------
+# Scenario (b1): software variants with model updates
+# --------------------------------------------------------------------------------------
+
+
+def _variant_extrapolation(spec, train, scale, seed) -> ScenarioAccuracy:
+    """-O1/-O3 and -v1..-v3 variants of the suite applications."""
+    rng = np.random.default_rng(seed + 100)
+    suite = spec2006_suite()
+    variants = []
+    for app, base in suite.items():
+        variants.append(optimization_variant(base, "-O1"))
+        variants.append(optimization_variant(base, "-O3"))
+        variants.append(input_variant(base, f"-v{1 + len(variants) % 3}"))
+
+    per_variant = max(2, scale.validation_pairs // len(variants))
+    errors: List[np.ndarray] = []
+    predictions_all: List[np.ndarray] = []
+    targets_all: List[np.ndarray] = []
+
+    study = GeneralStudy(scale, seed + 101)
+    for variant in variants:
+        study._shards.pop(variant.name, None)
+        shards = study.shards(variant.name, variant)
+        update_configs = sample_configs(UPDATE_PROFILES, rng)
+        update_records = study.sample_records(variant.name, update_configs, rng)
+
+        combined = ProfileDataset(
+            train.x_names, train.y_names, list(train.records) + update_records
+        )
+        weights = np.concatenate(
+            [np.ones(len(train)), np.full(len(update_records), UPDATE_WEIGHT)]
+        )
+        model = InferredModel.fit(spec, combined, weights=weights)
+
+        val_configs = sample_configs(per_variant, rng)
+        val_records = study.sample_records(variant.name, val_configs, rng)
+        probe = ProfileDataset(train.x_names, train.y_names, val_records)
+        predictions = model.predict(probe)
+        targets = probe.targets()
+        errors.append(absolute_percentage_errors(predictions, targets))
+        predictions_all.append(predictions)
+        targets_all.append(targets)
+
+    return ScenarioAccuracy(
+        name="software variants",
+        errors=BoxplotStats.from_errors(np.concatenate(errors)),
+        correlation=pearson_correlation(
+            np.concatenate(predictions_all), np.concatenate(targets_all)
+        ),
+        n_pairs=sum(len(e) for e in errors),
+    )
+
+
+# --------------------------------------------------------------------------------------
+# Scenario (b2): fundamentally new software (leave-one-application-out)
+# --------------------------------------------------------------------------------------
+
+
+def _new_software(spec, scale, seed) -> ScenarioAccuracy:
+    rng = np.random.default_rng(seed + 200)
+    study = GeneralStudy(scale, seed)
+    apps = study.applications()
+    per_app = max(2, scale.validation_pairs // len(apps))
+
+    errors: List[np.ndarray] = []
+    preds_all: List[np.ndarray] = []
+    targets_all: List[np.ndarray] = []
+    for held_out in apps:
+        train = empty_general_dataset()
+        for app in apps:
+            if app == held_out:
+                continue
+            configs = sample_configs(scale.configs_per_app, rng)
+            train.extend(study.sample_records(app, configs, rng))
+        update_records = study.sample_records(
+            held_out, sample_configs(UPDATE_PROFILES, rng), rng
+        )
+        combined = ProfileDataset(
+            train.x_names, train.y_names, list(train.records) + update_records
+        )
+        weights = np.concatenate(
+            [np.ones(len(train)), np.full(len(update_records), UPDATE_WEIGHT)]
+        )
+        model = InferredModel.fit(spec, combined, weights=weights)
+
+        val_records = study.sample_records(
+            held_out, sample_configs(per_app, rng), rng
+        )
+        probe = ProfileDataset(train.x_names, train.y_names, val_records)
+        predictions = model.predict(probe)
+        errors.append(absolute_percentage_errors(predictions, probe.targets()))
+        preds_all.append(predictions)
+        targets_all.append(probe.targets())
+
+    return ScenarioAccuracy(
+        name="new software",
+        errors=BoxplotStats.from_errors(np.concatenate(errors)),
+        correlation=pearson_correlation(
+            np.concatenate(preds_all), np.concatenate(targets_all)
+        ),
+        n_pairs=sum(len(e) for e in errors),
+    )
+
+
+# --------------------------------------------------------------------------------------
+# Scenario (c): new hardware AND new software
+# --------------------------------------------------------------------------------------
+
+
+def _held_out_configs(n: int, rng: np.random.Generator):
+    """Architectures from the excluded corner: maximal width designs."""
+    configs = []
+    guard = 0
+    while len(configs) < n and guard < 100 * n:
+        guard += 1
+        levels = [int(rng.integers(0, c)) for c in _LEVEL_COUNTS]
+        levels[0] = _LEVEL_COUNTS[0] - 1  # widest pipeline: never trained
+        configs.append(config_from_levels(levels))
+    return configs
+
+
+def _training_configs(n: int, rng: np.random.Generator):
+    """Architectures excluding the held-out corner (width < max)."""
+    configs = []
+    guard = 0
+    while len(configs) < n and guard < 100 * n:
+        guard += 1
+        levels = [int(rng.integers(0, c)) for c in _LEVEL_COUNTS]
+        levels[0] = int(rng.integers(0, _LEVEL_COUNTS[0] - 1))
+        configs.append(config_from_levels(levels))
+    return configs
+
+
+def _new_hardware_software(spec, scale, seed) -> ScenarioAccuracy:
+    rng = np.random.default_rng(seed + 300)
+    study = GeneralStudy(scale, seed)
+    apps = study.applications()
+    per_app = max(2, scale.validation_pairs // len(apps))
+
+    errors: List[np.ndarray] = []
+    preds_all: List[np.ndarray] = []
+    targets_all: List[np.ndarray] = []
+    for held_out in apps:
+        train = empty_general_dataset()
+        for app in apps:
+            if app == held_out:
+                continue
+            train.extend(
+                study.sample_records(
+                    app, _training_configs(scale.configs_per_app, rng), rng
+                )
+            )
+        # The newcomer is profiled on a few architectures *including the new
+        # hardware region* — Figure 6(d)'s shaded cells cover the new row
+        # and column before prediction p is attempted.
+        update_records = study.sample_records(
+            held_out,
+            _training_configs(UPDATE_PROFILES - UPDATE_PROFILES // 2, rng)
+            + _held_out_configs(UPDATE_PROFILES // 2, rng),
+            rng,
+        )
+        combined = ProfileDataset(
+            train.x_names, train.y_names, list(train.records) + update_records
+        )
+        weights = np.concatenate(
+            [np.ones(len(train)), np.full(len(update_records), UPDATE_WEIGHT)]
+        )
+        model = InferredModel.fit(spec, combined, weights=weights)
+
+        val_records = study.sample_records(
+            held_out, _held_out_configs(per_app, rng), rng
+        )
+        probe = ProfileDataset(train.x_names, train.y_names, val_records)
+        predictions = model.predict(probe)
+        errors.append(absolute_percentage_errors(predictions, probe.targets()))
+        preds_all.append(predictions)
+        targets_all.append(probe.targets())
+
+    return ScenarioAccuracy(
+        name="new hardware+software",
+        errors=BoxplotStats.from_errors(np.concatenate(errors)),
+        correlation=pearson_correlation(
+            np.concatenate(preds_all), np.concatenate(targets_all)
+        ),
+        n_pairs=sum(len(e) for e in errors),
+    )
+
+
+# --------------------------------------------------------------------------------------
+
+
+def _accuracy(name: str, model: InferredModel, val: ProfileDataset) -> ScenarioAccuracy:
+    predictions = model.predict(val)
+    targets = val.targets()
+    return ScenarioAccuracy(
+        name=name,
+        errors=BoxplotStats.from_errors(
+            absolute_percentage_errors(predictions, targets)
+        ),
+        correlation=pearson_correlation(predictions, targets),
+        n_pairs=len(val),
+    )
+
+
+def report(result: Fig78Result) -> str:
+    lines = ["Figures 7 & 8 — prediction error distributions and correlations"]
+    paper = {
+        "interpolation": "paper: ~5% median, rho > 0.9",
+        "software variants": "paper: ~8% median, rho >= 0.9",
+        "new software": "paper: ~6% median, rho >= 0.9",
+        "new hardware+software": "paper: trends captured, rho >= 0.9",
+    }
+    for scenario in (
+        result.interpolation,
+        result.variant_extrapolation,
+        result.new_software,
+        result.new_hardware_software,
+    ):
+        lines.append("  " + scenario.errors.row(scenario.name))
+        lines.append(
+            f"  {'':<18s} rho = {scenario.correlation:.3f}   ({paper[scenario.name]})"
+        )
+    return "\n".join(lines)

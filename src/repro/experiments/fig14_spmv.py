@@ -1,0 +1,95 @@
+"""Figure 14 — SpMV performance and power prediction accuracy.
+
+For each Table 4 matrix: sample the integrated (block size x cache) space,
+fit the compact domain-specific model on the training samples, and validate
+on an independent sample.  The paper reports median errors of 4-6% for both
+performance (Mflop/s) and power (our energy proxy: nJ/Flop) across all 11
+matrices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core import BoxplotStats, absolute_percentage_errors, pearson_correlation
+from repro.experiments.common import Scale, cached, current_scale
+from repro.spmv import MATRIX_NAMES, SpMVSpace, fit_spmv_model, table4_matrix
+
+
+@dataclasses.dataclass
+class MatrixAccuracy:
+    performance: BoxplotStats
+    power: BoxplotStats
+    performance_rho: float
+    power_rho: float
+
+
+@dataclasses.dataclass
+class Fig14Result:
+    per_matrix: Dict[str, MatrixAccuracy]
+    median_of_medians_perf: float
+    median_of_medians_power: float
+
+
+def run(scale: Optional[Scale] = None, seed: int = 2012) -> Fig14Result:
+    scale = scale or current_scale()
+
+    def build():
+        per_matrix: Dict[str, MatrixAccuracy] = {}
+        for index, name in enumerate(MATRIX_NAMES):
+            rng = np.random.default_rng(seed + 800 + index)
+            space = SpMVSpace(table4_matrix(name, seed=0))
+            train_perf = space.sample_dataset(scale.spmv_train, rng, "mflops")
+            val_perf = space.sample_dataset(scale.spmv_val, rng, "mflops")
+            model_perf = fit_spmv_model(train_perf)
+            pred_perf = model_perf.predict(val_perf)
+
+            rng_p = np.random.default_rng(seed + 900 + index)
+            train_pow = space.sample_dataset(scale.spmv_train, rng_p, "nj_per_flop")
+            val_pow = space.sample_dataset(scale.spmv_val, rng_p, "nj_per_flop")
+            model_pow = fit_spmv_model(train_pow)
+            pred_pow = model_pow.predict(val_pow)
+
+            per_matrix[name] = MatrixAccuracy(
+                performance=BoxplotStats.from_errors(
+                    absolute_percentage_errors(pred_perf, val_perf.targets())
+                ),
+                power=BoxplotStats.from_errors(
+                    absolute_percentage_errors(pred_pow, val_pow.targets())
+                ),
+                performance_rho=pearson_correlation(pred_perf, val_perf.targets()),
+                power_rho=pearson_correlation(pred_pow, val_pow.targets()),
+            )
+        perf_medians = [m.performance.median for m in per_matrix.values()]
+        power_medians = [m.power.median for m in per_matrix.values()]
+        return Fig14Result(
+            per_matrix=per_matrix,
+            median_of_medians_perf=float(np.median(perf_medians)),
+            median_of_medians_power=float(np.median(power_medians)),
+        )
+
+    return cached(f"fig14-v12|{scale.name}|{seed}", build)
+
+
+def report(result: Fig14Result) -> str:
+    lines = [
+        "Figure 14 — SpMV model accuracy per matrix "
+        "(paper: 4-6% median across 11 matrices)",
+        f"  {'matrix':<10s} {'perf median':>11s} {'perf rho':>9s} "
+        f"{'power median':>12s} {'power rho':>10s}",
+    ]
+    for name, acc in result.per_matrix.items():
+        lines.append(
+            f"  {name:<10s} {acc.performance.median:>11.1%} "
+            f"{acc.performance_rho:>9.3f} {acc.power.median:>12.1%} "
+            f"{acc.power_rho:>10.3f}"
+        )
+    lines.append(
+        f"  median of per-matrix medians: performance "
+        f"{result.median_of_medians_perf:.1%}, power "
+        f"{result.median_of_medians_power:.1%}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""§4.2 — automated modeling vs. manual specification (and stepwise).
+
+The paper reports that genetic-search models beat a hand-tuned model by
+about 10% (relative), and that the hand-tuned model took a research
+assistant ~10 months.  This driver fits three specifications on identical
+training data and scores them on identical validation data:
+
+* the genetic search's best specification,
+* the hand-specified architect's model (:mod:`repro.core.manual`),
+* a forward-stepwise-selected model (§2.4's one-term-at-a-time contrast).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.core import InferredModel, manual_general_spec, stepwise_search
+from repro.experiments.common import (
+    Scale,
+    build_general_dataset,
+    cached,
+    current_scale,
+    run_genetic_search,
+)
+
+
+@dataclasses.dataclass
+class BaselineComparison:
+    genetic_error: float
+    genetic_rho: float
+    manual_error: float
+    manual_rho: float
+    stepwise_error: float
+    stepwise_rho: float
+    genetic_vs_manual: float      # relative improvement of GA over manual
+
+
+def run(scale: Optional[Scale] = None, seed: int = 2012) -> BaselineComparison:
+    scale = scale or current_scale()
+
+    def build():
+        train, val = build_general_dataset(scale, seed)
+        search_result = run_genetic_search(train, scale, seed=7)
+        spec = search_result.best_chromosome.to_spec(train.variable_names)
+        genetic = InferredModel.fit(spec, train).score(val)
+
+        manual = InferredModel.fit(manual_general_spec(), train).score(val)
+
+        rng = np.random.default_rng(seed + 500)
+        step_spec, _ = stepwise_search(train, rng, max_terms=18)
+        stepwise = InferredModel.fit(step_spec, train).score(val)
+
+        return BaselineComparison(
+            genetic_error=genetic["median_error"],
+            genetic_rho=genetic["correlation"],
+            manual_error=manual["median_error"],
+            manual_rho=manual["correlation"],
+            stepwise_error=stepwise["median_error"],
+            stepwise_rho=stepwise["correlation"],
+            genetic_vs_manual=1.0 - genetic["median_error"] / max(manual["median_error"], 1e-12),
+        )
+
+    return cached(f"sec42-v12|{scale.name}|{seed}", build)
+
+
+def report(result: BaselineComparison) -> str:
+    return "\n".join(
+        [
+            "Section 4.2 — genetic search vs. manual vs. stepwise",
+            f"  genetic:  median error {result.genetic_error:6.1%}  rho {result.genetic_rho:.3f}",
+            f"  manual:   median error {result.manual_error:6.1%}  rho {result.manual_rho:.3f}",
+            f"  stepwise: median error {result.stepwise_error:6.1%}  rho {result.stepwise_rho:.3f}",
+            f"  genetic improves on manual by {result.genetic_vs_manual:.0%} "
+            "(paper: genetic-search errors ~10% lower than hand-tuning)",
+        ]
+    )

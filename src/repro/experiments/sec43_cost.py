@@ -1,0 +1,170 @@
+"""§4.3 — reduced profiling costs from shared software behavior.
+
+Prior approaches train one architectural model *per application*, needing
+400-800 architectural profiles each.  The integrated model shares profiles
+across applications: if s1 and s2 behave similarly, each benefits from the
+other's architectural samples.  The paper reports 2-4x fewer profiles per
+application for equal accuracy, and 20-40x when extrapolating a new
+application from existing profiles.
+
+The driver sweeps profiles-per-application and compares, at each budget:
+
+* the integrated HW-SW model trained on all applications' samples, vs.
+* per-application hardware-only models trained on that application's
+  samples alone,
+
+then locates the budget at which each approach reaches a target accuracy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import (
+    InferredModel,
+    ModelSpec,
+    ProfileDataset,
+    TransformKind,
+    median_error,
+)
+from repro.experiments.common import (
+    GeneralStudy,
+    Scale,
+    build_general_dataset,
+    cached,
+    current_scale,
+    empty_general_dataset,
+    run_genetic_search,
+)
+from repro.uarch import HARDWARE_VARIABLE_NAMES, sample_configs
+
+#: Budgets swept (architectural profiles per application).
+BUDGETS = (10, 20, 40, 80, 160)
+
+TARGET_ERROR = 0.12
+
+
+def _hardware_only_spec(all_names: Tuple[str, ...]) -> ModelSpec:
+    """A per-application model: hardware parameters only (prior work)."""
+    transforms = {name: TransformKind.EXCLUDED for name in all_names}
+    for name in HARDWARE_VARIABLE_NAMES:
+        transforms[name] = TransformKind.QUADRATIC
+    transforms["y2"] = TransformKind.SPLINE
+    transforms["y5"] = TransformKind.SPLINE
+    transforms["y7"] = TransformKind.SPLINE
+    interactions = frozenset({("y1", "y2"), ("y5", "y7"), ("y4", "y8")})
+    return ModelSpec(transforms=transforms, interactions=interactions)
+
+
+@dataclasses.dataclass
+class CostSweepResult:
+    budgets: Tuple[int, ...]
+    integrated_errors: List[float]        # median error at each budget
+    per_app_errors: List[float]
+    integrated_budget_at_target: Optional[int]
+    per_app_budget_at_target: Optional[int]
+    cost_reduction: Optional[float]
+
+
+def run(scale: Optional[Scale] = None, seed: int = 2012) -> CostSweepResult:
+    scale = scale or current_scale()
+
+    def build():
+        train_full, val = build_general_dataset(scale, seed)
+        search_result = run_genetic_search(train_full, scale, seed=7)
+        spec = search_result.best_chromosome.to_spec(train_full.variable_names)
+
+        study = GeneralStudy(scale, seed)
+        rng = np.random.default_rng(seed + 600)
+        apps = study.applications()
+        val_by_app = val.by_application()
+
+        integrated_errors: List[float] = []
+        per_app_errors: List[float] = []
+        budgets = tuple(b for b in BUDGETS if b <= scale.configs_per_app * 2)
+        hw_spec = _hardware_only_spec(train_full.variable_names)
+
+        for budget in budgets:
+            # Integrated: budget profiles per app, one shared model.
+            train = empty_general_dataset()
+            for app in apps:
+                configs = sample_configs(budget, rng)
+                train.extend(study.sample_records(app, configs, rng))
+            model = InferredModel.fit(spec, train)
+            integrated_errors.append(
+                median_error(model.predict(val), val.targets())
+            )
+
+            # Per-application hardware-only models.
+            errors: List[float] = []
+            for app in apps:
+                configs = sample_configs(budget, rng)
+                own = ProfileDataset(
+                    train.x_names,
+                    train.y_names,
+                    study.sample_records(app, configs, rng),
+                )
+                app_val = val_by_app.get(app)
+                if app_val is None or len(app_val) == 0:
+                    continue
+                try:
+                    hw_model = InferredModel.fit(hw_spec, own)
+                    errors.append(
+                        median_error(hw_model.predict(app_val), app_val.targets())
+                    )
+                except (ValueError, np.linalg.LinAlgError):
+                    errors.append(1.0)
+            per_app_errors.append(float(np.mean(errors)))
+
+        integrated_at = _budget_at_target(budgets, integrated_errors)
+        per_app_at = _budget_at_target(budgets, per_app_errors)
+        reduction = (
+            per_app_at / integrated_at
+            if integrated_at and per_app_at
+            else None
+        )
+        return CostSweepResult(
+            budgets=budgets,
+            integrated_errors=integrated_errors,
+            per_app_errors=per_app_errors,
+            integrated_budget_at_target=integrated_at,
+            per_app_budget_at_target=per_app_at,
+            cost_reduction=reduction,
+        )
+
+    return cached(f"sec43-v12|{scale.name}|{seed}", build)
+
+
+def _budget_at_target(budgets, errors) -> Optional[int]:
+    for budget, error in zip(budgets, errors):
+        if error <= TARGET_ERROR:
+            return budget
+    return None
+
+
+def report(result: CostSweepResult) -> str:
+    lines = [
+        "Section 4.3 — profiles/application needed: integrated vs. per-app models",
+        f"  {'profiles/app':>12s}  {'integrated':>10s}  {'per-app HW-only':>15s}",
+    ]
+    for budget, ie, pe in zip(
+        result.budgets, result.integrated_errors, result.per_app_errors
+    ):
+        lines.append(f"  {budget:12d}  {ie:10.1%}  {pe:15.1%}")
+    if result.cost_reduction:
+        lines.append(
+            f"  budget to reach {TARGET_ERROR:.0%} median error: integrated "
+            f"{result.integrated_budget_at_target}, per-app "
+            f"{result.per_app_budget_at_target} -> {result.cost_reduction:.1f}x "
+            "fewer profiles (paper: 2-4x)"
+        )
+    else:
+        lines.append(
+            f"  (one approach never reached {TARGET_ERROR:.0%} at swept budgets: "
+            f"integrated@target={result.integrated_budget_at_target}, "
+            f"per-app@target={result.per_app_budget_at_target})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Instruction-set substrate: opcode classes and dynamic instruction traces.
+
+This package defines the trace format shared by the synthetic workload
+generator (:mod:`repro.workloads`), the microarchitecture-independent
+profiler (:mod:`repro.profiling`) and the out-of-order timing model
+(:mod:`repro.uarch`).
+
+A *trace* is the committed (architectural) dynamic instruction stream of one
+application or shard.  Profiling the committed stream is what the paper
+achieves by embedding counters in Gem5's commit stage: the measured
+characteristics are independent of the out-of-order microarchitecture.
+"""
+
+from repro.isa.instructions import (
+    OpClass,
+    TRACE_DTYPE,
+    FU_LATENCY,
+    empty_trace,
+    opclass_names,
+)
+from repro.isa.trace import Trace
+
+__all__ = [
+    "OpClass",
+    "TRACE_DTYPE",
+    "FU_LATENCY",
+    "empty_trace",
+    "opclass_names",
+    "Trace",
+]

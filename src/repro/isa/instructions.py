@@ -1,0 +1,97 @@
+"""Opcode classes and the structured-array layout of a dynamic trace.
+
+The six opcode classes mirror the instruction-mix characteristics the paper
+profiles (Table 1): control, floating-point ALU, floating-point
+multiply/divide, integer multiply/divide, integer ALU, and memory.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class OpClass(enum.IntEnum):
+    """Architectural opcode class of a dynamic instruction.
+
+    The integer values index into per-class arrays throughout the package
+    (instruction-mix counters, functional-unit latency tables), so they must
+    stay dense and start at zero.
+    """
+
+    CONTROL = 0
+    FP_ALU = 1
+    FP_MULDIV = 2
+    INT_MULDIV = 3
+    INT_ALU = 4
+    MEMORY = 5
+
+
+N_OPCLASSES = len(OpClass)
+
+
+def opclass_names() -> list:
+    """Return opcode-class names ordered by their integer value."""
+    return [c.name for c in sorted(OpClass, key=int)]
+
+
+#: Execution latency (cycles) of each opcode class on its functional unit.
+#: Indexed by :class:`OpClass`.  Memory latency here is the L1 hit latency;
+#: miss latencies are added by the cache model.
+FU_LATENCY = np.array(
+    [
+        1.0,  # CONTROL: resolved in one execute cycle
+        3.0,  # FP_ALU: pipelined FP add
+        6.0,  # FP_MULDIV: multiply/divide, partially pipelined
+        8.0,  # INT_MULDIV
+        1.0,  # INT_ALU
+        2.0,  # MEMORY: L1 hit (address generation + access)
+    ]
+)
+
+#: Issue interval (cycles between successive ops on one unit).  Fully
+#: pipelined units have interval 1; divides stall their unit longer.
+FU_ISSUE_INTERVAL = np.array(
+    [
+        1.0,  # CONTROL
+        1.0,  # FP_ALU
+        4.0,  # FP_MULDIV
+        5.0,  # INT_MULDIV
+        1.0,  # INT_ALU
+        1.0,  # MEMORY
+    ]
+)
+
+
+#: Layout of one dynamic instruction in a trace.
+#:
+#: ``op``    opcode class (:class:`OpClass` value).
+#: ``taken`` for CONTROL ops, whether the branch is taken; zero otherwise.
+#: ``miss``  for CONTROL ops, whether a reference predictor mispredicts it.
+#:           This is a *software* property in our substrate (Table 2 has no
+#:           predictor parameters); the timing model charges a width-dependent
+#:           penalty per mispredict.
+#: ``dep``   distance, in dynamic instructions, to the producer of this
+#:           instruction's critical source operand; 0 means no in-window
+#:           dependence.
+#: ``addr``  byte address touched by MEMORY ops; 0 otherwise.
+#: ``iaddr`` byte address of the instruction itself (for instruction-cache
+#:           locality).
+TRACE_DTYPE = np.dtype(
+    [
+        ("op", np.int8),
+        ("taken", np.bool_),
+        ("miss", np.bool_),
+        ("dep", np.int32),
+        ("addr", np.int64),
+        ("iaddr", np.int64),
+    ]
+)
+
+
+def empty_trace(n: int) -> np.ndarray:
+    """Allocate a zeroed trace array of ``n`` instructions."""
+    if n < 0:
+        raise ValueError(f"trace length must be non-negative, got {n}")
+    return np.zeros(n, dtype=TRACE_DTYPE)

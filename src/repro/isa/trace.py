@@ -1,0 +1,123 @@
+"""The :class:`Trace` wrapper around a structured instruction array.
+
+A trace is immutable from the caller's perspective: slicing produces views,
+and all derived quantities (instruction mix, shard boundaries) are computed
+on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.isa.instructions import N_OPCLASSES, OpClass, TRACE_DTYPE, empty_trace
+
+
+class Trace:
+    """A committed dynamic instruction stream.
+
+    Parameters
+    ----------
+    data:
+        Structured array with dtype :data:`repro.isa.TRACE_DTYPE`.
+    name:
+        Human-readable identifier, e.g. ``"astar"`` or ``"astar/shard007"``.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "trace"):
+        if data.dtype != TRACE_DTYPE:
+            raise TypeError(
+                f"trace data must have dtype TRACE_DTYPE, got {data.dtype}"
+            )
+        self._data = data
+        self.name = name
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self)} instructions)"
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying structured array (treat as read-only)."""
+        return self._data
+
+    # -- field accessors ----------------------------------------------------------
+
+    @property
+    def op(self) -> np.ndarray:
+        return self._data["op"]
+
+    @property
+    def taken(self) -> np.ndarray:
+        return self._data["taken"]
+
+    @property
+    def miss(self) -> np.ndarray:
+        return self._data["miss"]
+
+    @property
+    def dep(self) -> np.ndarray:
+        return self._data["dep"]
+
+    @property
+    def addr(self) -> np.ndarray:
+        return self._data["addr"]
+
+    @property
+    def iaddr(self) -> np.ndarray:
+        return self._data["iaddr"]
+
+    # -- derived quantities -------------------------------------------------------
+
+    def opclass_counts(self) -> np.ndarray:
+        """Count of instructions per opcode class, indexed by :class:`OpClass`."""
+        return np.bincount(self.op, minlength=N_OPCLASSES).astype(np.int64)
+
+    def memory_mask(self) -> np.ndarray:
+        return self.op == int(OpClass.MEMORY)
+
+    def control_mask(self) -> np.ndarray:
+        return self.op == int(OpClass.CONTROL)
+
+    # -- composition --------------------------------------------------------------
+
+    def slice(self, start: int, stop: int, name: str = None) -> "Trace":
+        """Return a view of instructions ``[start, stop)`` as a new trace."""
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(
+                f"slice [{start}, {stop}) out of bounds for trace of {len(self)}"
+            )
+        return Trace(self._data[start:stop], name or f"{self.name}[{start}:{stop}]")
+
+    def shards(self, length: int) -> List["Trace"]:
+        """Split into equal-length shards of ``length`` instructions.
+
+        Shards carry an equal number of instructions, matching the paper's
+        sharding strategy (§2.1).  A trailing remainder shorter than
+        ``length`` is dropped so every shard is directly comparable.
+        """
+        if length <= 0:
+            raise ValueError(f"shard length must be positive, got {length}")
+        n_shards = len(self) // length
+        return [
+            self.slice(i * length, (i + 1) * length, f"{self.name}/shard{i:03d}")
+            for i in range(n_shards)
+        ]
+
+    def iter_shards(self, length: int) -> Iterator["Trace"]:
+        """Yield shards lazily; same semantics as :meth:`shards`."""
+        for shard in self.shards(length):
+            yield shard
+
+    @staticmethod
+    def concatenate(traces: Sequence["Trace"], name: str = "concat") -> "Trace":
+        """Concatenate traces into one stream (e.g. phases of an application)."""
+        if not traces:
+            return Trace(empty_trace(0), name)
+        data = np.concatenate([t.data for t in traces])
+        return Trace(data, name)

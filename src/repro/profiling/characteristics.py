@@ -1,0 +1,111 @@
+"""The thirteen portable software characteristics of Table 1.
+
+Measured per shard on the committed instruction stream:
+
+=====  ==========================================================
+x1     # control instructions
+x2     # taken branches
+x3     # floating-point ALU instructions
+x4     # floating-point multiply/divide instructions
+x5     # integer multiply/divide instructions
+x6     # integer ALU instructions
+x7     # memory instructions
+x8     average re-use distance for 64B data-cache blocks
+x9     average re-use distance for 64B instruction-cache blocks
+x10    # instructions between a floating-point ALU op and its consumer
+x11    # instructions between a floating-point multiply and its consumer
+x12    # instructions between an integer multiply and its consumer
+x13    average basic block size (# instructions / # branches)
+=====  ==========================================================
+
+All are microarchitecture independent: none references a cache size, a
+pipeline width, or any other hardware parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.instructions import OpClass
+from repro.isa.trace import Trace
+from repro.profiling.reuse import mean_reuse_distance
+
+N_CHARACTERISTICS = 13
+
+SOFTWARE_VARIABLE_NAMES = tuple(f"x{i}" for i in range(1, N_CHARACTERISTICS + 1))
+
+SOFTWARE_VARIABLE_LABELS = {
+    "x1": "# control",
+    "x2": "# taken branches",
+    "x3": "# float ALU",
+    "x4": "# float mul/div",
+    "x5": "# integer mul/div",
+    "x6": "# integer ALU",
+    "x7": "# memory",
+    "x8": "avg re-use distance, 64B d-cache blocks",
+    "x9": "avg re-use distance, 64B i-cache blocks",
+    "x10": "producer-consumer distance, float ALU",
+    "x11": "producer-consumer distance, float mul/div",
+    "x12": "producer-consumer distance, int mul/div",
+    "x13": "avg basic block size",
+}
+
+
+def profile_shard(shard: Trace) -> np.ndarray:
+    """Profile one shard into its Table 1 characteristic vector.
+
+    Returns a float array of length :data:`N_CHARACTERISTICS`, ordered
+    x1..x13.
+    """
+    n = len(shard)
+    if n == 0:
+        raise ValueError("cannot profile an empty shard")
+    counts = shard.opclass_counts()
+
+    x = np.zeros(N_CHARACTERISTICS, dtype=float)
+    x[0] = counts[OpClass.CONTROL]
+    x[1] = int(shard.taken.sum())
+    x[2] = counts[OpClass.FP_ALU]
+    x[3] = counts[OpClass.FP_MULDIV]
+    x[4] = counts[OpClass.INT_MULDIV]
+    x[5] = counts[OpClass.INT_ALU]
+    x[6] = counts[OpClass.MEMORY]
+
+    mem = shard.memory_mask()
+    mem_pos = np.flatnonzero(mem)
+    x[7] = mean_reuse_distance(
+        shard.addr[mem_pos], mem_pos, block_bytes=64, default=float(n)
+    )
+    all_pos = np.arange(n)
+    x[8] = mean_reuse_distance(shard.iaddr, all_pos, block_bytes=64, default=float(n))
+
+    x[9] = _producer_consumer_distance(shard, OpClass.FP_ALU)
+    x[10] = _producer_consumer_distance(shard, OpClass.FP_MULDIV)
+    x[11] = _producer_consumer_distance(shard, OpClass.INT_MULDIV)
+
+    n_branches = max(1, int(counts[OpClass.CONTROL]))
+    x[12] = n / n_branches
+    return x
+
+
+def _producer_consumer_distance(shard: Trace, producer_class: OpClass) -> float:
+    """Average dynamic distance from a producer of ``producer_class`` to
+    its consumer.
+
+    Each instruction's ``dep`` field points back to its critical producer;
+    we collect the distances whose producer belongs to the requested class.
+    Consumers whose producer lies before the shard boundary are skipped
+    (their producer class is unobservable within the shard).  Returns 0
+    when the class never produces a consumed value — "rare floating-point
+    divides are not strong predictors" (§3.1) manifests exactly here.
+    """
+    dep = shard.dep
+    idx = np.arange(len(shard))
+    valid = (dep > 0) & (idx - dep >= 0)
+    if not valid.any():
+        return 0.0
+    producers = idx[valid] - dep[valid]
+    mask = shard.op[producers] == int(producer_class)
+    if not mask.any():
+        return 0.0
+    return float(dep[valid][mask].mean())

@@ -1,0 +1,97 @@
+"""Extended memory-behavior characteristics (the paper's future work).
+
+Table 1's thirteen characteristics "primarily capture processor-bound
+workload behavior.  Other workloads may require memory or I/O
+characteristics.  For memory-bound workloads, such parameters might include
+memory hierarchy latencies, memory channel bandwidth, application
+concurrency, and memory request burstiness" (§4.1); §7 lists the same as a
+direction for future work.
+
+This module implements four such portable measures (x14..x17), all still
+microarchitecture independent:
+
+=====  ===================================================================
+x14    memory footprint — distinct 64B data blocks touched in the shard
+x15    memory request burstiness — coefficient of variation of the
+       instruction gaps between *far* accesses (stack distance beyond a
+       fixed horizon), i.e. the accesses any realistic cache must fetch
+x16    streaming fraction — share of data accesses at unit (8B) stride,
+       a bandwidth-demand proxy
+x17    code footprint — distinct 64B instruction blocks touched
+=====  ===================================================================
+
+:func:`profile_shard_extended` returns the concatenated 17-value vector;
+``repro.experiments.ext_memory`` measures what the additions buy for
+memory-bound applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.trace import Trace
+from repro.profiling.characteristics import (
+    N_CHARACTERISTICS,
+    SOFTWARE_VARIABLE_NAMES,
+    profile_shard,
+)
+from repro.profiling.reuse import stack_distances
+
+N_EXTENDED = 4
+
+EXTENDED_VARIABLE_NAMES = SOFTWARE_VARIABLE_NAMES + tuple(
+    f"x{i}" for i in range(N_CHARACTERISTICS + 1, N_CHARACTERISTICS + N_EXTENDED + 1)
+)
+
+EXTENDED_VARIABLE_LABELS = {
+    "x14": "memory footprint (distinct 64B data blocks)",
+    "x15": "memory request burstiness (CV of far-access gaps)",
+    "x16": "streaming fraction (unit-stride data accesses)",
+    "x17": "code footprint (distinct 64B instruction blocks)",
+}
+
+#: Stack distance (in 64B blocks) beyond which an access is considered a
+#: capacity fetch for burstiness purposes; chosen inside the Table 2 L1
+#: range so it is not tied to any single configuration.
+FAR_HORIZON_BLOCKS = 512
+
+WORD_BYTES = 8
+
+
+def profile_shard_extended(shard: Trace) -> np.ndarray:
+    """Profile a shard into the extended x1..x17 characteristic vector."""
+    base = profile_shard(shard)
+
+    mem_positions = np.flatnonzero(shard.memory_mask())
+    addrs = shard.addr[mem_positions]
+
+    if len(addrs):
+        blocks = addrs >> 6
+        footprint = float(len(np.unique(blocks)))
+        distances, _ = stack_distances(addrs, block_bytes=64)
+        far_positions = mem_positions[distances >= FAR_HORIZON_BLOCKS]
+        burstiness = _gap_cv(far_positions, len(shard))
+        strides = np.diff(addrs)
+        streaming = float((strides == WORD_BYTES).mean()) if len(strides) else 0.0
+    else:
+        footprint, burstiness, streaming = 0.0, 0.0, 0.0
+
+    code_footprint = float(len(np.unique(shard.iaddr >> 6)))
+    return np.concatenate(
+        [base, [footprint, burstiness, streaming, code_footprint]]
+    )
+
+
+def _gap_cv(positions: np.ndarray, shard_length: int) -> float:
+    """Coefficient of variation of the instruction gaps between events.
+
+    Zero or one event yields 0 (no burst structure observable); uniform
+    spacing yields ~0; clustered (bursty) events yield > 1.
+    """
+    if len(positions) < 2:
+        return 0.0
+    gaps = np.diff(np.sort(positions)).astype(float)
+    mean = gaps.mean()
+    if mean <= 0:
+        return 0.0
+    return float(gaps.std() / mean)

@@ -1,0 +1,88 @@
+"""Sparse matrix-vector multiply: the domain-specific case study (§5).
+
+Everything the paper's SpMV evaluation needs, built from scratch:
+
+* :mod:`repro.spmv.matrices` — CSR matrices and the synthetic Table 4 suite;
+* :mod:`repro.spmv.bcsr` — BCSR register blocking and fill ratios (Fig. 11);
+* :mod:`repro.spmv.kernel` — the blocked kernel's exact access stream;
+* :mod:`repro.spmv.cache` — the Table 5 cache space and an exact
+  set-associative simulator (LRU / NMRU / RND);
+* :mod:`repro.spmv.machine` — Xtensa-class timing and CACTI/Micron-like
+  energy;
+* :mod:`repro.spmv.space` — sampling and evaluation over the integrated
+  space;
+* :mod:`repro.spmv.model` — the compact domain-specific regression models;
+* :mod:`repro.spmv.tuning` — application / architecture / coordinated
+  tuning (Figure 16).
+"""
+
+from repro.spmv.matrices import (
+    SparseMatrix,
+    MatrixInfo,
+    TABLE4,
+    MATRIX_NAMES,
+    table4_matrix,
+    table4_suite,
+    fem_matrix,
+    scattered_matrix,
+)
+from repro.spmv.bcsr import BCSRMatrix, to_bcsr, fill_ratio
+from repro.spmv.kernel import KernelTrace, kernel_trace
+from repro.spmv.cache import (
+    CacheConfig,
+    SetAssociativeCache,
+    SPMV_HARDWARE_NAMES,
+    SPMV_HARDWARE_LABELS,
+    REPL_POLICIES,
+    default_cache,
+    sample_cache_configs,
+    enumerate_cache_configs,
+)
+from repro.spmv.machine import SpMVResult, EnergyBreakdown, run_spmv, run_trace, miss_penalty_cycles
+from repro.spmv.space import (
+    SpMVSpace,
+    SPMV_SOFTWARE_NAMES,
+    SPMV_SOFTWARE_LABELS,
+    BLOCK_SIZES,
+)
+from repro.spmv.model import spmv_model_spec, fit_spmv_model, predicted_topology
+from repro.spmv.tuning import TuningResult, TuningSearch, tuning_cache_candidates
+
+__all__ = [
+    "SparseMatrix",
+    "MatrixInfo",
+    "TABLE4",
+    "MATRIX_NAMES",
+    "table4_matrix",
+    "table4_suite",
+    "fem_matrix",
+    "scattered_matrix",
+    "BCSRMatrix",
+    "to_bcsr",
+    "fill_ratio",
+    "KernelTrace",
+    "kernel_trace",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "SPMV_HARDWARE_NAMES",
+    "SPMV_HARDWARE_LABELS",
+    "REPL_POLICIES",
+    "default_cache",
+    "sample_cache_configs",
+    "enumerate_cache_configs",
+    "SpMVResult",
+    "EnergyBreakdown",
+    "run_spmv",
+    "run_trace",
+    "miss_penalty_cycles",
+    "SpMVSpace",
+    "SPMV_SOFTWARE_NAMES",
+    "SPMV_SOFTWARE_LABELS",
+    "BLOCK_SIZES",
+    "spmv_model_spec",
+    "fit_spmv_model",
+    "predicted_topology",
+    "TuningResult",
+    "TuningSearch",
+    "tuning_cache_candidates",
+]

@@ -1,0 +1,193 @@
+"""Block compressed sparse row (BCSR) storage and register blocking.
+
+The paper's Figure 11 layout: a matrix is tiled into r x c blocks; blocks
+containing at least one non-zero are stored *densely* (explicit zeros fill
+the gaps), contiguously in ``b_value``.  ``b_col_idx`` holds the first
+column of each stored block and ``b_row_start`` points at each block row's
+first entry in ``b_col_idx``.
+
+The **fill ratio** — stored values (original non-zeros plus filled zeros)
+divided by original non-zeros — is the software cost of blocking: filled
+zeros waste floating-point work and bandwidth but buy dense, streamable
+structure (§5.2).
+
+Example (the paper's Figure 11, 2x2 blocks)::
+
+    >>> import numpy as np
+    >>> from repro.spmv.matrices import SparseMatrix
+    >>> A = np.array([
+    ...     [1, 2, 0, 0, 0, 0],
+    ...     [3, 4, 0, 0, 5, 6],
+    ...     [0, 0, 7, 0, 8, 9],
+    ...     [0, 0, 0, 10, 11, 12],
+    ... ], dtype=float)
+    >>> b = to_bcsr(SparseMatrix.from_dense(A), 2, 2)
+    >>> b.b_row_start.tolist()
+    [0, 2, 4]
+    >>> b.b_col_idx.tolist()
+    [0, 4, 2, 4]
+    >>> b.b_value.tolist()
+    [1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 5.0, 6.0, 7.0, 0.0, 0.0, 10.0, 8.0, 9.0, 11.0, 12.0]
+    >>> b.fill_ratio
+    1.3333333333333333
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numpy as np
+
+from repro.spmv.matrices import SparseMatrix
+
+MAX_BLOCK = 8  # Table 5: block sizes range over 1..8 in each dimension
+
+
+@dataclasses.dataclass
+class BCSRMatrix:
+    """An r x c register-blocked sparse matrix."""
+
+    n_rows: int
+    n_cols: int
+    r: int
+    c: int
+    b_row_start: np.ndarray   # (n_block_rows + 1,) into b_col_idx
+    b_col_idx: np.ndarray     # (n_blocks,) first column of each block
+    b_value: np.ndarray       # (n_blocks * r * c,) dense blocks, row-major
+    original_nnz: int
+    name: str = "bcsr"
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.b_col_idx)
+
+    @property
+    def n_block_rows(self) -> int:
+        return len(self.b_row_start) - 1
+
+    @property
+    def stored_values(self) -> int:
+        return self.n_blocks * self.r * self.c
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored values / original non-zeros (>= 1)."""
+        if self.original_nnz == 0:
+            return 1.0
+        return self.stored_values / self.original_nnz
+
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """Blocked SpMV: v = A u, streaming block by block.
+
+        Mirrors the access pattern the timing model traces: for each block
+        row, destination elements stay in registers while source elements
+        are re-used c at a time per block.
+        """
+        u = np.asarray(u, dtype=float)
+        if len(u) != self.n_cols:
+            raise ValueError(f"vector length {len(u)} != {self.n_cols} columns")
+        v = np.zeros(self.n_rows)
+        r, c = self.r, self.c
+        for brow in range(self.n_block_rows):
+            row0 = brow * r
+            rows_here = min(r, self.n_rows - row0)
+            acc = np.zeros(r)
+            for k in range(self.b_row_start[brow], self.b_row_start[brow + 1]):
+                col0 = self.b_col_idx[k]
+                block = self.b_value[k * r * c : (k + 1) * r * c].reshape(r, c)
+                cols_here = min(c, self.n_cols - col0)
+                acc += block[:, :cols_here] @ u[col0 : col0 + cols_here]
+            v[row0 : row0 + rows_here] += acc[:rows_here]
+        return v
+
+    def to_csr(self) -> SparseMatrix:
+        """Expand back to CSR (explicit zeros dropped)."""
+        r, c = self.r, self.c
+        rows, cols, vals = [], [], []
+        for brow in range(self.n_block_rows):
+            for k in range(self.b_row_start[brow], self.b_row_start[brow + 1]):
+                col0 = self.b_col_idx[k]
+                block = self.b_value[k * r * c : (k + 1) * r * c].reshape(r, c)
+                for i in range(r):
+                    row = brow * r + i
+                    if row >= self.n_rows:
+                        continue
+                    for j in range(c):
+                        col = col0 + j
+                        if col < self.n_cols and block[i, j] != 0.0:
+                            rows.append(row)
+                            cols.append(col)
+                            vals.append(block[i, j])
+        return SparseMatrix(
+            self.n_rows, self.n_cols,
+            np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            np.array(vals),
+            f"{self.name}-csr",
+        )
+
+
+def to_bcsr(matrix: SparseMatrix, r: int, c: int) -> BCSRMatrix:
+    """Convert a CSR matrix to r x c BCSR (zero-filling partial blocks)."""
+    if not 1 <= r <= MAX_BLOCK or not 1 <= c <= MAX_BLOCK:
+        raise ValueError(f"block sizes must be 1..{MAX_BLOCK}, got {r}x{c}")
+    n_block_rows = -(-matrix.n_rows // r)
+
+    coo_rows = np.repeat(
+        np.arange(matrix.n_rows), np.diff(matrix.indptr)
+    )
+    coo_cols = matrix.indices
+    coo_vals = matrix.values
+
+    brows = coo_rows // r
+    bcols = coo_cols // c
+    # Sort by (block row, block col), then assign block slots.
+    order = np.lexsort((bcols, brows))
+    brows_s, bcols_s = brows[order], bcols[order]
+    rows_s, cols_s, vals_s = coo_rows[order], coo_cols[order], coo_vals[order]
+
+    if len(brows_s):
+        key_change = np.concatenate(
+            [[True], (brows_s[1:] != brows_s[:-1]) | (bcols_s[1:] != bcols_s[:-1])]
+        )
+        block_of_entry = np.cumsum(key_change) - 1
+        n_blocks = int(block_of_entry[-1]) + 1
+        block_brow = brows_s[key_change]
+        block_bcol = bcols_s[key_change]
+    else:
+        block_of_entry = np.empty(0, dtype=np.int64)
+        n_blocks = 0
+        block_brow = np.empty(0, dtype=np.int64)
+        block_bcol = np.empty(0, dtype=np.int64)
+
+    b_value = np.zeros(n_blocks * r * c)
+    in_block_r = rows_s - block_brow[block_of_entry] * r if n_blocks else rows_s
+    in_block_c = cols_s - block_bcol[block_of_entry] * c if n_blocks else cols_s
+    flat = block_of_entry * (r * c) + in_block_r * c + in_block_c
+    b_value[flat] = vals_s
+
+    b_row_start = np.zeros(n_block_rows + 1, dtype=np.int64)
+    np.add.at(b_row_start, block_brow + 1, 1)
+    b_row_start = np.cumsum(b_row_start)
+
+    return BCSRMatrix(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        r=r,
+        c=c,
+        b_row_start=b_row_start,
+        b_col_idx=block_bcol * c,
+        b_value=b_value,
+        original_nnz=matrix.nnz,
+        name=f"{matrix.name}-{r}x{c}",
+    )
+
+
+def fill_ratio(matrix: SparseMatrix, r: int, c: int) -> float:
+    """Fill ratio of blocking ``matrix`` at r x c without materializing values."""
+    coo_rows = np.repeat(np.arange(matrix.n_rows), np.diff(matrix.indptr))
+    brows = coo_rows // r
+    bcols = matrix.indices // c
+    n_blocks = len(np.unique(brows * (-(-matrix.n_cols // c)) + bcols))
+    if matrix.nnz == 0:
+        return 1.0
+    return n_blocks * r * c / matrix.nnz

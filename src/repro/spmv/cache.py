@@ -1,0 +1,251 @@
+"""Set-associative cache simulation for the SpMV study (Table 5).
+
+Unlike the analytic miss model of the general study, the SpMV substrate
+*simulates* the cache exactly: the blocked kernel's real address stream is
+driven through a set-associative cache with the configured line size,
+capacity, associativity, and replacement policy (LRU, NMRU, or random).
+The paper's Figure 13 effects — streaming lines amortizing off-chip
+latency, high associativity holding never-re-used matrix values on the LRU
+stack — emerge from this simulation rather than being assumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+LINE_BYTES_LEVELS = (16, 32, 64, 128)                  # y1: 16B :: 2x :: 128B
+DSIZE_KB_LEVELS = (4, 8, 16, 32, 64, 128, 256)         # y2: 4KB :: 2x :: 256KB
+DWAYS_LEVELS = (1, 2, 4, 8)                            # y3: 1 :: 2x :: 8
+REPL_POLICIES = ("LRU", "NMRU", "RND")                 # y4 / y7
+ISIZE_KB_LEVELS = (2, 4, 8, 16, 32, 64, 128)           # y5: 2KB :: 2x :: 128KB
+IWAYS_LEVELS = (1, 2, 4, 8)                            # y6
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """One point in the Table 5 cache-architecture space."""
+
+    line_bytes: int
+    dsize_kb: int
+    dways: int
+    drepl: str
+    isize_kb: int
+    iways: int
+    irepl: str
+
+    def __post_init__(self):
+        if self.line_bytes not in LINE_BYTES_LEVELS:
+            raise ValueError(f"line_bytes must be in {LINE_BYTES_LEVELS}")
+        if self.dsize_kb not in DSIZE_KB_LEVELS:
+            raise ValueError(f"dsize_kb must be in {DSIZE_KB_LEVELS}")
+        if self.dways not in DWAYS_LEVELS:
+            raise ValueError(f"dways must be in {DWAYS_LEVELS}")
+        if self.isize_kb not in ISIZE_KB_LEVELS:
+            raise ValueError(f"isize_kb must be in {ISIZE_KB_LEVELS}")
+        if self.iways not in IWAYS_LEVELS:
+            raise ValueError(f"iways must be in {IWAYS_LEVELS}")
+        for policy in (self.drepl, self.irepl):
+            if policy not in REPL_POLICIES:
+                raise ValueError(f"replacement must be in {REPL_POLICIES}")
+
+    def as_vector(self) -> np.ndarray:
+        """The y1..y7 vector for the domain-specific regression model.
+
+        Replacement policies are encoded by their level index (LRU=0,
+        NMRU=1, RND=2).
+        """
+        return np.array(
+            [
+                self.line_bytes,
+                self.dsize_kb,
+                self.dways,
+                REPL_POLICIES.index(self.drepl),
+                self.isize_kb,
+                self.iways,
+                REPL_POLICIES.index(self.irepl),
+            ],
+            dtype=float,
+        )
+
+    @property
+    def key(self) -> str:
+        return (
+            f"L{self.line_bytes}-D{self.dsize_kb}x{self.dways}{self.drepl}"
+            f"-I{self.isize_kb}x{self.iways}{self.irepl}"
+        )
+
+
+SPMV_HARDWARE_NAMES = ("y1", "y2", "y3", "y4", "y5", "y6", "y7")
+
+SPMV_HARDWARE_LABELS = {
+    "y1": "line size (B)",
+    "y2": "data cache size (KB)",
+    "y3": "data cache ways",
+    "y4": "data replacement policy",
+    "y5": "instruction cache size (KB)",
+    "y6": "instruction cache ways",
+    "y7": "instruction replacement policy",
+}
+
+
+def default_cache() -> CacheConfig:
+    """The untuned baseline architecture for the Figure 16 comparison.
+
+    A conservative embedded configuration: short lines and a small data
+    cache.  Short lines are the natural power-conscious default for an
+    Xtensa-class part (less over-fetch), which is precisely why
+    architecture tuning has so much streaming bandwidth to recover (§5.3).
+    """
+    return CacheConfig(
+        line_bytes=16, dsize_kb=8, dways=2, drepl="LRU",
+        isize_kb=8, iways=2, irepl="LRU",
+    )
+
+
+def sample_cache_configs(n: int, rng: np.random.Generator) -> List[CacheConfig]:
+    """Sample ``n`` distinct cache configurations uniformly."""
+    seen = set()
+    out: List[CacheConfig] = []
+    attempts = 0
+    while len(out) < n and attempts < 100 * n:
+        attempts += 1
+        cfg = CacheConfig(
+            line_bytes=int(rng.choice(LINE_BYTES_LEVELS)),
+            dsize_kb=int(rng.choice(DSIZE_KB_LEVELS)),
+            dways=int(rng.choice(DWAYS_LEVELS)),
+            drepl=str(rng.choice(REPL_POLICIES)),
+            isize_kb=int(rng.choice(ISIZE_KB_LEVELS)),
+            iways=int(rng.choice(IWAYS_LEVELS)),
+            irepl=str(rng.choice(REPL_POLICIES)),
+        )
+        if cfg.key in seen:
+            continue
+        seen.add(cfg.key)
+        out.append(cfg)
+    if len(out) < n:
+        raise RuntimeError(f"could not sample {n} distinct cache configurations")
+    return out
+
+
+def enumerate_cache_configs() -> Iterator[CacheConfig]:
+    """Enumerate the full Table 5 cache space."""
+    for line, dsz, dw, dr, isz, iw, ir in itertools.product(
+        LINE_BYTES_LEVELS, DSIZE_KB_LEVELS, DWAYS_LEVELS, REPL_POLICIES,
+        ISIZE_KB_LEVELS, IWAYS_LEVELS, REPL_POLICIES,
+    ):
+        yield CacheConfig(line, dsz, dw, dr, isz, iw, ir)
+
+
+class SetAssociativeCache:
+    """An exact set-associative cache simulator.
+
+    Parameters
+    ----------
+    size_bytes, line_bytes, ways:
+        Geometry.  ``size_bytes`` must be a multiple of
+        ``line_bytes * ways``.
+    policy:
+        ``"LRU"`` (evict least recently used), ``"NMRU"`` (evict a random
+        line that is not the most recently used), or ``"RND"``.
+    seed:
+        Seed for the randomized policies.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int,
+        ways: int,
+        policy: str = "LRU",
+        seed: int = 0,
+    ):
+        if policy not in REPL_POLICIES:
+            raise ValueError(f"policy must be in {REPL_POLICIES}")
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines * line_bytes != size_bytes:
+            raise ValueError("size must be a multiple of the line size")
+        self.n_sets = max(1, n_lines // ways)
+        if self.n_sets * ways * line_bytes != size_bytes:
+            raise ValueError("size must be a multiple of line_bytes * ways")
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.policy = policy
+        self._line_shift = line_bytes.bit_length() - 1
+        # Per set: list of tags, most recently used first.
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def probe(self, address: int) -> bool:
+        """Check whether an address would hit, without touching any state."""
+        line = int(address) >> self._line_shift
+        return line in self._sets[line % self.n_sets]
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        line = int(address) >> self._line_shift
+        ways_list = self._sets[line % self.n_sets]
+        try:
+            position = ways_list.index(line)
+        except ValueError:
+            self._insert(ways_list, line)
+            return False
+        if position != 0:
+            del ways_list[position]
+            ways_list.insert(0, line)
+        return True
+
+    def simulate(self, addresses: Sequence[int]) -> int:
+        """Run a full address stream; returns the miss count.
+
+        Tight-loop implementation of :meth:`access` for throughput.
+        """
+        misses = 0
+        sets = self._sets
+        n_sets = self.n_sets
+        ways = self.ways
+        shift = self._line_shift
+        policy = self.policy
+        rng = self._rng
+        lines = (np.asarray(addresses, dtype=np.int64) >> shift).tolist()
+        if policy == "RND":
+            evict_draws = iter(rng.integers(0, ways, size=len(lines)).tolist())
+        elif policy == "NMRU":
+            evict_draws = iter(
+                (1 + rng.integers(0, max(1, ways - 1), size=len(lines))).tolist()
+            )
+        for line in lines:
+            ways_list = sets[line % n_sets]
+            if line in ways_list:
+                if ways_list[0] != line:
+                    ways_list.remove(line)
+                    ways_list.insert(0, line)
+                continue
+            misses += 1
+            if len(ways_list) >= ways:
+                if policy == "LRU":
+                    ways_list.pop()
+                else:
+                    victim = min(next(evict_draws), len(ways_list) - 1)
+                    del ways_list[victim]
+            ways_list.insert(0, line)
+        return misses
+
+    def _insert(self, ways_list: List[int], line: int) -> None:
+        if len(ways_list) >= self.ways:
+            if self.policy == "LRU":
+                ways_list.pop()
+            elif self.policy == "NMRU":
+                victim = 1 + int(self._rng.integers(0, max(1, self.ways - 1)))
+                del ways_list[min(victim, len(ways_list) - 1)]
+            else:  # RND
+                del ways_list[int(self._rng.integers(0, len(ways_list)))]
+        ways_list.insert(0, line)

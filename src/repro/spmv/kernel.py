@@ -1,0 +1,114 @@
+"""The blocked SpMV kernel's memory access stream and instruction counts.
+
+The timing model does not run Xtensa binaries; it traces the *exact* memory
+reference stream the register-blocked kernel makes (Figure 11's layout) and
+counts the instructions an OSKI-style unrolled r x c kernel executes.  The
+access stream is what the cache simulator consumes; the instruction count
+is what the in-order core model charges at one cycle each.
+
+Per block row, the kernel:
+
+1. reads the block-row pointer (``b_row_start``),
+2. loads the r destination elements into registers,
+3. for each block: reads its column index, streams the r*c stored values,
+   and re-reads the c source elements,
+4. stores the r destination elements back.
+
+Data structures live in disjoint address regions so they never alias.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.spmv.bcsr import BCSRMatrix
+
+DOUBLE_BYTES = 8
+INDEX_BYTES = 4
+
+# Address-region bases (1 GiB apart; no aliasing at any Table 5 geometry).
+ROW_START_BASE = 0x1000_0000
+COL_IDX_BASE = 0x5000_0000
+VALUE_BASE = 0x9000_0000
+SOURCE_BASE = 0xD000_0000
+DEST_BASE = 0x1_1000_0000
+
+# Instruction-count model for an unrolled r x c kernel iteration.
+INSTRUCTIONS_PER_BLOCK_OVERHEAD = 4   # index load, address arithmetic, loop
+INSTRUCTIONS_PER_FLOP = 1             # fused multiply-accumulate per stored value pair
+INSTRUCTIONS_PER_VALUE_LOAD = 1
+INSTRUCTIONS_PER_ROW_OVERHEAD = 6     # row pointer, dest load/store setup
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTrace:
+    """Access stream and operation counts of one blocked SpMV execution."""
+
+    addresses: np.ndarray      # byte addresses, program order
+    n_instructions: int
+    true_flops: int            # 2 * original nnz (excludes filled zeros)
+    total_flops: int           # 2 * stored values (includes filled zeros)
+    code_bytes: int            # unrolled kernel footprint for the I-cache
+
+
+def kernel_trace(bcsr: BCSRMatrix) -> KernelTrace:
+    """Trace one full v += A u pass over a BCSR matrix."""
+    r, c = bcsr.r, bcsr.c
+    n_blocks = bcsr.n_blocks
+    n_block_rows = bcsr.n_block_rows
+
+    # --- count accesses to pre-size the array ---------------------------------
+    per_block = 1 + r * c + c            # col idx + values + source
+    per_row = 1 + 2 * r                  # row pointer + dest load/store
+    total = n_blocks * per_block + n_block_rows * per_row
+    addresses = np.empty(total, dtype=np.int64)
+
+    pos = 0
+    value_cursor = 0
+    col_idx = bcsr.b_col_idx
+    row_start = bcsr.b_row_start
+    value_offsets = np.arange(r * c, dtype=np.int64) * DOUBLE_BYTES
+    source_offsets = np.arange(c, dtype=np.int64) * DOUBLE_BYTES
+    dest_offsets = np.arange(r, dtype=np.int64) * DOUBLE_BYTES
+
+    for brow in range(n_block_rows):
+        addresses[pos] = ROW_START_BASE + brow * INDEX_BYTES
+        pos += 1
+        dest = DEST_BASE + brow * r * DOUBLE_BYTES + dest_offsets
+        addresses[pos : pos + r] = dest  # load destinations
+        pos += r
+        for k in range(row_start[brow], row_start[brow + 1]):
+            addresses[pos] = COL_IDX_BASE + k * INDEX_BYTES
+            pos += 1
+            base = VALUE_BASE + value_cursor * DOUBLE_BYTES
+            addresses[pos : pos + r * c] = base + value_offsets
+            pos += r * c
+            value_cursor += r * c
+            src = SOURCE_BASE + col_idx[k] * DOUBLE_BYTES + source_offsets
+            addresses[pos : pos + c] = src
+            pos += c
+        addresses[pos : pos + r] = dest  # store destinations
+        pos += r
+
+    n_instructions = (
+        n_blocks
+        * (
+            INSTRUCTIONS_PER_BLOCK_OVERHEAD
+            + r * c * (INSTRUCTIONS_PER_FLOP + INSTRUCTIONS_PER_VALUE_LOAD)
+            + c  # source loads
+        )
+        + n_block_rows * (INSTRUCTIONS_PER_ROW_OVERHEAD + 2 * r)
+    )
+    # The unrolled kernel body grows with the block area (OSKI generates one
+    # specialized routine per r x c).
+    code_bytes = 96 + 20 * r * c
+
+    return KernelTrace(
+        addresses=addresses[:pos],
+        n_instructions=int(n_instructions),
+        true_flops=2 * bcsr.original_nnz,
+        total_flops=2 * bcsr.stored_values,
+        code_bytes=code_bytes,
+    )

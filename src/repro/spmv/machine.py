@@ -1,0 +1,157 @@
+"""In-order core timing and energy for the SpMV study.
+
+The paper evaluates SpMV on a 400 MHz Tensilica Xtensa class processor with
+a reconfigurable cache, estimating energy with CACTI and Micron models
+(§5.3).  This module provides the equivalent analytic stand-ins:
+
+* **timing** — a single-issue in-order core: one cycle per instruction plus
+  a stall per data/instruction cache miss whose latency has a fixed off-chip
+  component and a per-byte transfer component.  Larger lines therefore
+  amortize the off-chip component across more bytes — the paper's streaming
+  bandwidth effect (Figure 13) — while costing more per transfer.
+* **energy** — CACTI-like per-access cache energy growing with capacity,
+  associativity, and line size; Micron-like off-chip energy of 6 nJ per
+  64-bit word transferred (the paper's own constant, §5.3); and a small
+  per-instruction core energy.
+
+Performance is reported as the paper defines it (footnote 4): true Mflop/s
+— the numerator excludes operations on filled zeros while the denominator
+benefits from any blocking speedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.spmv.cache import CacheConfig, SetAssociativeCache
+from repro.spmv.kernel import KernelTrace, kernel_trace
+from repro.spmv.bcsr import BCSRMatrix
+
+CLOCK_HZ = 400e6
+
+# Timing constants (cycles).
+MISS_BASE_CYCLES = 36          # off-chip access setup cost
+BUS_BYTES_PER_CYCLE = 4        # transfer bandwidth of the memory interface
+BASE_CPI = 1.0                 # in-order, single issue, cache hits
+
+# Energy constants (nJ).
+MEMORY_NJ_PER_WORD = 6.0       # per 64-bit word transferred off-chip [31]
+CORE_NJ_PER_INSTRUCTION = 0.10
+CACHE_NJ_BASE = 0.06           # per access of a 16KB, 2-way, 32B-line cache
+IFETCH_NJ_SCALE = 0.35         # instruction fetches are cheaper than data
+LEAK_NJ_PER_CYCLE_PER_KB = 0.0006
+
+
+def miss_penalty_cycles(line_bytes: int) -> float:
+    """Stall cycles per cache miss for a given line size."""
+    return MISS_BASE_CYCLES + line_bytes / BUS_BYTES_PER_CYCLE
+
+
+def cache_access_nj(size_kb: int, ways: int, line_bytes: int) -> float:
+    """CACTI-like per-access energy scaling.
+
+    Square-root capacity scaling, linear associativity surcharge (more ways
+    probed per access), and a weak line-size term (wider read-out).
+    """
+    return (
+        CACHE_NJ_BASE
+        * (size_kb / 16.0) ** 0.5
+        * (1.0 + 0.15 * (ways - 1))
+        * (line_bytes / 32.0) ** 0.3
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Where the joules go, in nJ (Figure 16(b)'s explanatory view)."""
+
+    core: float        # per-instruction datapath energy
+    dcache: float      # data-cache access energy
+    icache: float      # instruction-fetch energy
+    memory: float      # off-chip transfers (6 nJ per 64-bit word)
+    leakage: float     # capacity-proportional static energy
+
+    @property
+    def total(self) -> float:
+        return self.core + self.dcache + self.icache + self.memory + self.leakage
+
+
+@dataclasses.dataclass(frozen=True)
+class SpMVResult:
+    """Simulated performance/energy of one (blocked matrix, cache) pair."""
+
+    mflops: float              # true Mflop/s (excludes filled zeros)
+    nj_per_flop: float         # total energy / true flops
+    cycles: float
+    n_instructions: int
+    data_accesses: int
+    data_misses: int
+    inst_misses: int
+    fill_ratio: float
+    time_seconds: float
+    energy_nj: float
+    energy_breakdown: EnergyBreakdown = None
+
+
+def run_spmv(bcsr: BCSRMatrix, cache: CacheConfig, seed: int = 0) -> SpMVResult:
+    """Simulate one blocked SpMV pass on one cache architecture."""
+    trace = kernel_trace(bcsr)
+    return run_trace(trace, bcsr.fill_ratio, cache, seed)
+
+
+def run_trace(
+    trace: KernelTrace,
+    fill_ratio: float,
+    cache: CacheConfig,
+    seed: int = 0,
+) -> SpMVResult:
+    """Timing + energy from a kernel trace (cache simulated exactly)."""
+    dcache = SetAssociativeCache(
+        cache.dsize_kb * 1024, cache.line_bytes, cache.dways, cache.drepl, seed
+    )
+    data_misses = dcache.simulate(trace.addresses)
+
+    # The unrolled kernel's code footprint either fits its cache (compulsory
+    # misses only) or thrashes; with Table 5 geometries it always fits.
+    icache_bytes = cache.isize_kb * 1024
+    if trace.code_bytes <= icache_bytes:
+        inst_misses = -(-trace.code_bytes // cache.line_bytes)  # compulsory
+    else:
+        refetch = trace.n_instructions / max(1, icache_bytes // 64)
+        inst_misses = int(refetch * (trace.code_bytes // cache.line_bytes))
+
+    penalty = miss_penalty_cycles(cache.line_bytes)
+    cycles = (
+        trace.n_instructions * BASE_CPI
+        + data_misses * penalty
+        + inst_misses * penalty
+    )
+    time_seconds = cycles / CLOCK_HZ
+    mflops = trace.true_flops / time_seconds / 1e6
+
+    words_per_line = cache.line_bytes / 8.0
+    breakdown = EnergyBreakdown(
+        core=trace.n_instructions * CORE_NJ_PER_INSTRUCTION,
+        dcache=len(trace.addresses)
+        * cache_access_nj(cache.dsize_kb, cache.dways, cache.line_bytes),
+        icache=trace.n_instructions
+        * IFETCH_NJ_SCALE
+        * cache_access_nj(cache.isize_kb, cache.iways, cache.line_bytes),
+        memory=(data_misses + inst_misses) * words_per_line * MEMORY_NJ_PER_WORD,
+        leakage=cycles * LEAK_NJ_PER_CYCLE_PER_KB * (cache.dsize_kb + cache.isize_kb),
+    )
+    energy_nj = breakdown.total
+
+    return SpMVResult(
+        mflops=float(mflops),
+        nj_per_flop=float(energy_nj / trace.true_flops),
+        cycles=float(cycles),
+        n_instructions=trace.n_instructions,
+        data_accesses=len(trace.addresses),
+        data_misses=int(data_misses),
+        inst_misses=int(inst_misses),
+        fill_ratio=float(fill_ratio),
+        time_seconds=float(time_seconds),
+        energy_nj=float(energy_nj),
+        energy_breakdown=breakdown,
+    )

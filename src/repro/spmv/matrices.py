@@ -1,0 +1,301 @@
+"""Sparse matrices: CSR storage and the synthetic Table 4 suite.
+
+The paper draws 11 matrices from the NIST Matrix Market [34].  Those files
+are unavailable offline, so each Table 4 entry is reproduced as a synthetic
+matrix of the same *structure class* at ~1/100 the non-zero count
+(DESIGN.md §1):
+
+* **FEM matrices** (3dtube, bcsstk35, bmw7st, crystk02, nasasrb, olafu,
+  pwtk, raefsky3, venkat01) are built from dense ``b x b`` node blocks
+  scattered along a banded profile — register blocking wins when r, c
+  divide the natural block size, and the 4-aligned entries (raefsky3,
+  venkat01) show the paper's "multiples of 4" substructure;
+* **circuit/device matrices** (bayer02, memplus) are scattered
+  scalar entries plus a diagonal — blocking mostly adds fill.
+
+Every generator takes a seed; the suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class SparseMatrix:
+    """A CSR (compressed sparse row) matrix with float64 values.
+
+    Rows are index-sorted and duplicate entries are coalesced at
+    construction.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        name: str = "matrix",
+    ):
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (len(rows) == len(cols) == len(values)):
+            raise ValueError("rows, cols, values must have equal length")
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        if len(rows) and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("row index out of range")
+        if len(cols) and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("column index out of range")
+
+        # Coalesce duplicates (summing), then build CSR.
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if len(rows):
+            key = rows * n_cols + cols
+            first = np.concatenate([[True], key[1:] != key[:-1]])
+            groups = np.cumsum(first) - 1
+            summed = np.zeros(groups[-1] + 1 if len(groups) else 0)
+            np.add.at(summed, groups, values)
+            rows, cols, values = rows[first], cols[first], summed
+
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(self.indptr, rows + 1, 1)
+        self.indptr = np.cumsum(self.indptr)
+        self.indices = cols
+        self.values = values
+        self.name = name
+
+    # -- properties ----------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def sparsity(self) -> float:
+        """nnz / (n_rows * n_cols), Table 4's definition."""
+        return self.nnz / (self.n_rows * self.n_cols)
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseMatrix({self.name!r}, {self.n_rows}x{self.n_cols}, "
+            f"nnz={self.nnz})"
+        )
+
+    # -- conversions -----------------------------------------------------------------
+
+    @staticmethod
+    def from_dense(dense: np.ndarray, name: str = "matrix") -> "SparseMatrix":
+        dense = np.asarray(dense, dtype=float)
+        rows, cols = np.nonzero(dense)
+        return SparseMatrix(
+            dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols], name
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.n_rows, self.n_cols))
+        for r in range(self.n_rows):
+            lo, hi = self.indptr[r], self.indptr[r + 1]
+            out[r, self.indices[lo:hi]] = self.values[lo:hi]
+        return out
+
+    def row(self, r: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[r], self.indptr[r + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    # -- arithmetic -------------------------------------------------------------------
+
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """Reference CSR SpMV: v = A u."""
+        u = np.asarray(u, dtype=float)
+        if len(u) != self.n_cols:
+            raise ValueError(f"vector length {len(u)} != {self.n_cols} columns")
+        v = np.zeros(self.n_rows)
+        for r in range(self.n_rows):
+            lo, hi = self.indptr[r], self.indptr[r + 1]
+            v[r] = self.values[lo:hi] @ u[self.indices[lo:hi]]
+        return v
+
+
+# --------------------------------------------------------------------------------------
+# Synthetic generators
+# --------------------------------------------------------------------------------------
+
+
+def fem_matrix(
+    n_nodes: int,
+    block: int,
+    neighbors: int,
+    bandwidth: int,
+    seed: int,
+    name: str = "fem",
+    block_alignment: int = None,
+) -> SparseMatrix:
+    """Finite-element style matrix: dense node blocks on a banded profile.
+
+    ``n_nodes`` node rows/columns of dense ``block x block`` tiles; each
+    node couples with itself and ``neighbors`` random nodes within
+    ``bandwidth``.  ``block_alignment`` (default ``block``) sets the tile
+    grid alignment — aligning on 4 while drawing larger tiles produces the
+    multiples-of-4 substructure of raefsky3/venkat01.
+    """
+    rng = np.random.default_rng(seed)
+    align = block_alignment or block
+    n = n_nodes * align
+    entries_r: List[np.ndarray] = []
+    entries_c: List[np.ndarray] = []
+
+    tile_r, tile_c = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    tile_r, tile_c = tile_r.ravel(), tile_c.ravel()
+
+    for node in range(n_nodes):
+        base_r = node * align
+        partners = {node}
+        for _ in range(neighbors):
+            offset = int(rng.integers(-bandwidth, bandwidth + 1))
+            partner = min(max(node + offset, 0), n_nodes - 1)
+            partners.add(partner)
+        for partner in partners:
+            base_c = partner * align
+            rr = base_r + tile_r
+            cc = base_c + tile_c
+            keep = (rr < n) & (cc < n)
+            entries_r.append(rr[keep])
+            entries_c.append(cc[keep])
+
+    rows = np.concatenate(entries_r)
+    cols = np.concatenate(entries_c)
+    values = rng.uniform(0.5, 2.0, size=len(rows))
+    return SparseMatrix(n, n, rows, cols, values, name)
+
+
+def scattered_matrix(
+    n: int,
+    nnz_target: int,
+    seed: int,
+    name: str = "scattered",
+    diagonal: bool = True,
+) -> SparseMatrix:
+    """Circuit/device-simulation style matrix: diagonal plus random scatter."""
+    rng = np.random.default_rng(seed)
+    n_random = max(0, nnz_target - (n if diagonal else 0))
+    rows = rng.integers(0, n, size=n_random)
+    cols = rng.integers(0, n, size=n_random)
+    if diagonal:
+        rows = np.concatenate([np.arange(n), rows])
+        cols = np.concatenate([np.arange(n), cols])
+    values = rng.uniform(0.5, 2.0, size=len(rows))
+    return SparseMatrix(n, n, rows, cols, values, name)
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixInfo:
+    """One Table 4 entry: the paper's numbers plus our generator."""
+
+    index: int
+    name: str
+    paper_dimension: int
+    paper_nnz: int
+    paper_sparsity: float
+    structure: str
+
+    def generate(self, seed: int = 0) -> SparseMatrix:
+        return _GENERATORS[self.name](seed)
+
+
+def _gen_3dtube(seed):
+    return fem_matrix(160, 3, 8, 24, seed + 1, "3dtube")
+
+
+def _gen_bayer02(seed):
+    return scattered_matrix(450, 1400, seed + 2, "bayer02")
+
+
+def _gen_bcsstk35(seed):
+    return fem_matrix(170, 3, 6, 20, seed + 3, "bcsstk35")
+
+
+def _gen_bmw7st(seed):
+    return fem_matrix(200, 3, 7, 30, seed + 4, "bmw7st")
+
+
+def _gen_crystk02(seed):
+    return fem_matrix(110, 3, 9, 16, seed + 5, "crystk02")
+
+
+def _gen_memplus(seed):
+    return scattered_matrix(500, 1800, seed + 6, "memplus")
+
+
+def _gen_nasasrb(seed):
+    # 6x6 dense tiles: best blockings at 3x3, 3x6, 6x3, 6x6 (Figure 15).
+    return fem_matrix(90, 6, 5, 14, seed + 7, "nasasrb")
+
+
+def _gen_olafu(seed):
+    return fem_matrix(100, 6, 4, 12, seed + 8, "olafu")
+
+
+def _gen_pwtk(seed):
+    return fem_matrix(210, 6, 5, 26, seed + 9, "pwtk")
+
+
+def _gen_raefsky3(seed):
+    # 8x4-aligned dense tiles: block columns 1, 4, 8 equally effective
+    # (Figure 12); dense substructure in multiples of 4.
+    return fem_matrix(70, 8, 5, 10, seed + 10, "raefsky3", block_alignment=8)
+
+
+def _gen_venkat01(seed):
+    return fem_matrix(140, 4, 6, 18, seed + 11, "venkat01")
+
+
+_GENERATORS = {
+    "3dtube": _gen_3dtube,
+    "bayer02": _gen_bayer02,
+    "bcsstk35": _gen_bcsstk35,
+    "bmw7st": _gen_bmw7st,
+    "crystk02": _gen_crystk02,
+    "memplus": _gen_memplus,
+    "nasasrb": _gen_nasasrb,
+    "olafu": _gen_olafu,
+    "pwtk": _gen_pwtk,
+    "raefsky3": _gen_raefsky3,
+    "venkat01": _gen_venkat01,
+}
+
+#: The Table 4 registry, in the paper's order.
+TABLE4: Tuple[MatrixInfo, ...] = (
+    MatrixInfo(1, "3dtube", 45330, 1629474, 7.93e-4, "FEM, 3x3 blocks"),
+    MatrixInfo(2, "bayer02", 13935, 63679, 3.28e-4, "chemical process, scattered"),
+    MatrixInfo(3, "bcsstk35", 30237, 740200, 8.10e-4, "FEM, 3x3 blocks"),
+    MatrixInfo(4, "bmw7st", 141347, 3740507, 1.87e-4, "FEM, 3x3 blocks"),
+    MatrixInfo(5, "crystk02", 13965, 491274, 2.52e-3, "FEM, 3x3 blocks"),
+    MatrixInfo(6, "memplus", 17758, 126150, 4.00e-4, "circuit, scattered"),
+    MatrixInfo(7, "nasasrb", 54870, 1366097, 4.54e-4, "FEM, 6x6 blocks"),
+    MatrixInfo(8, "olafu", 16146, 515651, 1.98e-3, "FEM, 6x6 blocks"),
+    MatrixInfo(9, "pwtk", 217918, 5926171, 1.25e-4, "FEM, 6x6 blocks"),
+    MatrixInfo(10, "raefsky3", 21200, 1488768, 3.31e-3, "FEM, 8x4-aligned blocks"),
+    MatrixInfo(11, "venkat01", 62424, 1717792, 4.41e-4, "FEM, 4x4 blocks"),
+)
+
+MATRIX_NAMES = tuple(info.name for info in TABLE4)
+
+
+def table4_matrix(name: str, seed: int = 0) -> SparseMatrix:
+    """Generate the synthetic stand-in for one Table 4 matrix."""
+    if name not in _GENERATORS:
+        raise ValueError(f"unknown matrix {name!r}; choose from {MATRIX_NAMES}")
+    return _GENERATORS[name](seed)
+
+
+def table4_suite(seed: int = 0) -> Dict[str, SparseMatrix]:
+    """All eleven synthetic matrices keyed by name."""
+    return {name: table4_matrix(name, seed) for name in MATRIX_NAMES}

@@ -1,0 +1,95 @@
+"""Domain-specific SpMV performance and power models (§5.3).
+
+With semantic software parameters, the model shrinks: splines over block
+dimensions and fill ratio, a handful of cache terms, and the interactions
+that matter (fill x line size, block size x cache capacity).  This fixed
+specification is itself small enough to write down — the paper's point that
+"domain-specific software parameters produce smaller, more accurate
+models" — but a genetic refinement can still be requested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import ProfileDataset
+from repro.core.design import ModelSpec
+from repro.core.genetic import GeneticSearch
+from repro.core.model import InferredModel
+from repro.core.transforms import TransformKind
+
+
+def spmv_model_spec() -> ModelSpec:
+    """The default domain-specific specification.
+
+    Variables: x1 = brow, x2 = bcol, x3 = fill ratio; y1 = line size,
+    y2 = D$ size, y3 = D$ ways, y4 = D$ replacement, y5 = I$ size,
+    y6 = I$ ways, y7 = I$ replacement.
+    """
+    transforms = {
+        "x1": TransformKind.SPLINE,     # non-monotonic in block rows (Fig. 12)
+        "x2": TransformKind.SPLINE,     # non-monotonic in block columns
+        "x3": TransformKind.SPLINE,     # fill ratio: benign until it is not
+        "y1": TransformKind.QUADRATIC,  # line size: amortization + overshoot
+        "y2": TransformKind.QUADRATIC,  # capacity: diminishing returns
+        "y3": TransformKind.QUADRATIC,  # associativity (Fig. 13's LRU effect)
+        "y4": TransformKind.LINEAR,     # replacement policy level
+        "y5": TransformKind.LINEAR,     # I-cache barely matters for SpMV
+        "y6": TransformKind.EXCLUDED,
+        "y7": TransformKind.EXCLUDED,
+    }
+    interactions = frozenset(
+        {
+            ("x3", "y1"),  # fill x line size: wasted bandwidth
+            ("x1", "y1"),  # block rows x line: streaming alignment
+            ("x2", "y1"),  # block cols x line: source re-use per line
+            ("x3", "y2"),  # fill x capacity
+            ("x1", "x2"),  # the block shape itself
+            ("x3", "y3"),  # fill x associativity
+            ("y1", "y2"),  # line x capacity (fewer, larger lines)
+        }
+    )
+    return ModelSpec(transforms=transforms, interactions=interactions)
+
+
+def fit_spmv_model(
+    dataset: ProfileDataset,
+    refine_generations: int = 0,
+    seed: int = 0,
+) -> InferredModel:
+    """Fit the domain-specific model on sampled profiles.
+
+    ``refine_generations > 0`` lets the genetic heuristic polish the fixed
+    specification (seeding the initial population is not required — the
+    space is small enough that a short random-start search recovers it).
+    """
+    if refine_generations > 0:
+        search = GeneticSearch(population_size=24, seed=seed)
+        result = search.run(dataset, refine_generations)
+        return result.best_model(dataset)
+    return InferredModel.fit(spmv_model_spec(), dataset)
+
+
+def predicted_topology(
+    model: InferredModel,
+    space,
+    cache,
+) -> np.ndarray:
+    """8x8 grid of *predicted* Mflop/s over block sizes (Figure 15b)."""
+    from repro.spmv.space import BLOCK_SIZES, SPMV_SOFTWARE_NAMES
+    from repro.spmv.cache import SPMV_HARDWARE_NAMES
+    from repro.core.dataset import ProfileRecord
+
+    probe = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
+    for r in BLOCK_SIZES:
+        for c in BLOCK_SIZES:
+            probe.add(
+                ProfileRecord(
+                    space.matrix.name,
+                    space.software_vector(r, c),
+                    cache.as_vector(),
+                    0.0,
+                )
+            )
+    predictions = model.predict(probe)
+    return predictions.reshape(len(BLOCK_SIZES), len(BLOCK_SIZES))

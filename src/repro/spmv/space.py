@@ -1,0 +1,111 @@
+"""The integrated SpMV-cache space: sampling, evaluation, datasets (§5.3).
+
+Software coordinates are the domain-specific parameters of Table 5:
+block rows (x1 = brow), block columns (x2 = bcol), and the fill ratio
+(x3 = fR, a function of brow, bcol, and the matrix).  Hardware coordinates
+are the seven cache parameters.  Performance is true Mflop/s; power is
+nJ/Flop.
+
+"Rather than measure locality with re-use distances, SpMV block sizes
+directly quantify the amount of exploitable locality" — which is why three
+semantic parameters replace thirteen instruction-level ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.dataset import ProfileDataset, ProfileRecord
+from repro.spmv.bcsr import BCSRMatrix, to_bcsr
+from repro.spmv.cache import (
+    CacheConfig,
+    SPMV_HARDWARE_NAMES,
+    sample_cache_configs,
+)
+from repro.spmv.machine import SpMVResult, run_spmv
+from repro.spmv.matrices import SparseMatrix
+
+SPMV_SOFTWARE_NAMES = ("x1", "x2", "x3")
+
+SPMV_SOFTWARE_LABELS = {
+    "x1": "brow (block rows)",
+    "x2": "bcol (block columns)",
+    "x3": "fR (fill ratio)",
+}
+
+BLOCK_SIZES = tuple(range(1, 9))  # 1..8 in each dimension (64 variants)
+
+
+class SpMVSpace:
+    """Evaluation oracle over one matrix's integrated HW-SW space.
+
+    Memoizes BCSR conversions (64 per matrix) and simulation results, so
+    repeated tuning searches and dataset builds never re-simulate a
+    configuration.
+    """
+
+    def __init__(self, matrix: SparseMatrix, seed: int = 0):
+        self.matrix = matrix
+        self.seed = seed
+        self._bcsr: Dict[Tuple[int, int], BCSRMatrix] = {}
+        self._results: Dict[Tuple[int, int, str], SpMVResult] = {}
+
+    def bcsr(self, r: int, c: int) -> BCSRMatrix:
+        key = (r, c)
+        if key not in self._bcsr:
+            self._bcsr[key] = to_bcsr(self.matrix, r, c)
+        return self._bcsr[key]
+
+    def fill_ratio(self, r: int, c: int) -> float:
+        return self.bcsr(r, c).fill_ratio
+
+    def evaluate(self, r: int, c: int, cache: CacheConfig) -> SpMVResult:
+        """Simulate (or recall) one (block size, cache) configuration."""
+        key = (r, c, cache.key)
+        if key not in self._results:
+            self._results[key] = run_spmv(self.bcsr(r, c), cache, self.seed)
+        return self._results[key]
+
+    # -- dataset construction -------------------------------------------------------
+
+    def software_vector(self, r: int, c: int) -> np.ndarray:
+        return np.array([r, c, self.fill_ratio(r, c)], dtype=float)
+
+    def record(
+        self, r: int, c: int, cache: CacheConfig, target: str = "mflops"
+    ) -> ProfileRecord:
+        result = self.evaluate(r, c, cache)
+        z = getattr(result, target)
+        return ProfileRecord(
+            application=self.matrix.name,
+            x=self.software_vector(r, c),
+            y=cache.as_vector(),
+            z=float(z),
+            tag=f"{r}x{c}/{cache.key}",
+        )
+
+    def sample_dataset(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        target: str = "mflops",
+    ) -> ProfileDataset:
+        """Randomly sample the integrated space into a profile dataset."""
+        dataset = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
+        caches = sample_cache_configs(min(n_samples, 2000), rng)
+        for i in range(n_samples):
+            r = int(rng.choice(BLOCK_SIZES))
+            c = int(rng.choice(BLOCK_SIZES))
+            cache = caches[i % len(caches)]
+            dataset.add(self.record(r, c, cache, target))
+        return dataset
+
+    def topology(self, cache: CacheConfig) -> np.ndarray:
+        """8x8 grid of true Mflop/s over all block sizes (Figure 15a)."""
+        grid = np.empty((len(BLOCK_SIZES), len(BLOCK_SIZES)))
+        for i, r in enumerate(BLOCK_SIZES):
+            for j, c in enumerate(BLOCK_SIZES):
+                grid[i, j] = self.evaluate(r, c, cache).mflops
+        return grid

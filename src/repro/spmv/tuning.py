@@ -1,0 +1,165 @@
+"""Coordinated hardware-software tuning for SpMV (§5.3, Figure 16).
+
+Three strategies, all driven by inferred models rather than exhaustive
+profiling:
+
+* **application tuning** — fix the cache at the untuned baseline, choose
+  the matrix block size;
+* **architecture tuning** — fix the code at 1x1 (unblocked), choose the
+  cache configuration;
+* **coordinated tuning** — choose block size and cache together.
+
+Each search ranks candidates with the model, then *verifies the top
+candidates with true measurements* — the standard model-guided-search
+protocol (the paper's "hill climbing heuristics that use models to find
+higher performance", §4.3).  Reported speedups and energies are always true
+simulated values, never model outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import ProfileDataset, ProfileRecord
+from repro.core.model import InferredModel
+from repro.spmv.cache import (
+    CacheConfig,
+    SPMV_HARDWARE_NAMES,
+    default_cache,
+    sample_cache_configs,
+)
+from repro.spmv.space import BLOCK_SIZES, SPMV_SOFTWARE_NAMES, SpMVSpace
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one tuning strategy on one matrix."""
+
+    strategy: str
+    r: int
+    c: int
+    cache: CacheConfig
+    mflops: float
+    nj_per_flop: float
+    baseline_mflops: float
+    baseline_nj_per_flop: float
+
+    @property
+    def speedup(self) -> float:
+        return self.mflops / self.baseline_mflops
+
+    @property
+    def energy_ratio(self) -> float:
+        """Tuned energy per flop relative to baseline (< 1 is better)."""
+        return self.nj_per_flop / self.baseline_nj_per_flop
+
+
+class TuningSearch:
+    """Model-guided tuning over one matrix's SpMV-cache space."""
+
+    def __init__(
+        self,
+        space: SpMVSpace,
+        model: Optional[InferredModel] = None,
+        baseline_cache: Optional[CacheConfig] = None,
+        verify_top: int = 5,
+    ):
+        self.space = space
+        self.model = model
+        self.baseline_cache = baseline_cache or default_cache()
+        self.verify_top = max(1, verify_top)
+        self._baseline = space.evaluate(1, 1, self.baseline_cache)
+
+    # -- public strategies ----------------------------------------------------------
+
+    def baseline(self) -> TuningResult:
+        return self._result("baseline", 1, 1, self.baseline_cache)
+
+    def application_tuning(self) -> TuningResult:
+        """Best block size on the baseline cache."""
+        candidates = [
+            (r, c, self.baseline_cache) for r in BLOCK_SIZES for c in BLOCK_SIZES
+        ]
+        r, c, cache = self._choose(candidates)
+        return self._result("application", r, c, cache)
+
+    def architecture_tuning(
+        self, caches: Sequence[CacheConfig]
+    ) -> TuningResult:
+        """Best cache configuration for the unblocked (1x1) code."""
+        candidates = [(1, 1, cache) for cache in caches]
+        r, c, cache = self._choose(candidates)
+        return self._result("architecture", r, c, cache)
+
+    def coordinated_tuning(
+        self, caches: Sequence[CacheConfig]
+    ) -> TuningResult:
+        """Best (block size, cache) pair chosen together."""
+        candidates = [
+            (r, c, cache)
+            for cache in caches
+            for r in BLOCK_SIZES
+            for c in BLOCK_SIZES
+        ]
+        r, c, cache = self._choose(candidates)
+        return self._result("coordinated", r, c, cache)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _choose(
+        self, candidates: List[Tuple[int, int, CacheConfig]]
+    ) -> Tuple[int, int, CacheConfig]:
+        """Rank with the model (if any), then verify the top few for real."""
+        if self.model is None:
+            scored = [
+                (self.space.evaluate(r, c, cache).mflops, i)
+                for i, (r, c, cache) in enumerate(candidates)
+            ]
+            best = max(scored)[1]
+            return candidates[best]
+
+        probe = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
+        for r, c, cache in candidates:
+            probe.add(
+                ProfileRecord(
+                    self.space.matrix.name,
+                    self.space.software_vector(r, c),
+                    cache.as_vector(),
+                    0.0,
+                )
+            )
+        predictions = self.model.predict(probe)
+        top = np.argsort(predictions)[::-1][: self.verify_top]
+        best_true, best_idx = -np.inf, int(top[0])
+        for i in top:
+            r, c, cache = candidates[int(i)]
+            true = self.space.evaluate(r, c, cache).mflops
+            if true > best_true:
+                best_true, best_idx = true, int(i)
+        return candidates[best_idx]
+
+    def _result(self, strategy: str, r: int, c: int, cache: CacheConfig) -> TuningResult:
+        outcome = self.space.evaluate(r, c, cache)
+        return TuningResult(
+            strategy=strategy,
+            r=r,
+            c=c,
+            cache=cache,
+            mflops=outcome.mflops,
+            nj_per_flop=outcome.nj_per_flop,
+            baseline_mflops=self._baseline.mflops,
+            baseline_nj_per_flop=self._baseline.nj_per_flop,
+        )
+
+
+def tuning_cache_candidates(
+    n: int, rng: np.random.Generator, include_default: bool = True
+) -> List[CacheConfig]:
+    """Candidate cache set for architecture/coordinated tuning."""
+    caches = sample_cache_configs(n, rng)
+    if include_default:
+        caches.append(default_cache())
+    return caches

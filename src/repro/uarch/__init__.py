@@ -1,0 +1,51 @@
+"""Out-of-order microarchitecture substrate (the paper's Gem5 stand-in).
+
+Defines the Table 2 hardware design space and a deterministic trace-driven
+interval timing model producing CPI for any (shard, configuration) pair.
+See DESIGN.md §1 for why this substitution preserves the paper's modeling
+problem.
+"""
+
+from repro.uarch.config import (
+    PipelineConfig,
+    HARDWARE_VARIABLE_NAMES,
+    HARDWARE_VARIABLE_LABELS,
+    MEMORY_LATENCY,
+    config_from_levels,
+    design_space_size,
+    enumerate_configs,
+    reference_config,
+    sample_configs,
+)
+from repro.uarch.shardstats import ShardStats, compute_shard_stats
+from repro.uarch.cachemodel import expected_misses, miss_counts_hierarchy
+from repro.uarch.pipeline import CycleBreakdown, cycle_breakdown, simulate_cpi
+from repro.uarch.simulator import Simulator
+from repro.uarch.tuning import ArchitectureSearch, SearchOutcome, random_search_baseline
+from repro.uarch.detailed import DetailedSimulator, DetailedResult, detailed_cpi
+
+__all__ = [
+    "PipelineConfig",
+    "HARDWARE_VARIABLE_NAMES",
+    "HARDWARE_VARIABLE_LABELS",
+    "MEMORY_LATENCY",
+    "config_from_levels",
+    "design_space_size",
+    "enumerate_configs",
+    "reference_config",
+    "sample_configs",
+    "ShardStats",
+    "compute_shard_stats",
+    "expected_misses",
+    "miss_counts_hierarchy",
+    "CycleBreakdown",
+    "cycle_breakdown",
+    "simulate_cpi",
+    "Simulator",
+    "ArchitectureSearch",
+    "SearchOutcome",
+    "random_search_baseline",
+    "DetailedSimulator",
+    "DetailedResult",
+    "detailed_cpi",
+]

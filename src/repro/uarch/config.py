@@ -1,0 +1,207 @@
+"""The Table 2 microarchitecture design space.
+
+Thirteen hardware parameters (y1..y13) spanning pipeline width, out-of-order
+window resources, cache hierarchy, and functional-unit counts.  Two
+parameters gang several resources together exactly as in the paper:
+
+* **y2** scales the load/store queue, physical registers, instruction queue,
+  and reorder buffer in lock-step (six levels);
+* **y3** scales L1 and L2 associativity together (four levels).
+
+The space includes deliberately extreme designs "so that models infer
+interior points more accurately" (Table 2 caption).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+# Level tables, straight from Table 2.
+WIDTH_LEVELS = (1, 2, 4, 8)                      # y1: 1 :: 2x :: 8
+LSQ_LEVELS = (11, 16, 21, 26, 31, 36)            # y2: 11 :: 5+ :: 38 (6 steps)
+REGS_LEVELS = (86, 128, 170, 212, 254, 296)      #     86 :: 42+ :: 300
+IQ_LEVELS = (22, 32, 42, 52, 62, 72)             #     22 :: 10+ :: 72
+ROB_LEVELS = (64, 96, 128, 160, 192, 224)        #     64 :: 32+ :: 224
+L1_ASSOC_LEVELS = (1, 2, 4, 8)                   # y3: 1 :: 2x :: 8
+L2_ASSOC_LEVELS = (2, 4, 8, 8)                   #     2 :: 2x :: 8 (ganged)
+MSHR_LEVELS = (1, 2, 4, 6, 8)                    # y4
+DCACHE_KB_LEVELS = (16, 32, 64, 128)             # y5
+ICACHE_KB_LEVELS = (16, 32, 64, 128)             # y6
+L2_KB_LEVELS = (256, 512, 1024, 2048, 4096)      # y7
+L2_LATENCY_LEVELS = (6, 8, 10, 12, 14)           # y8
+INT_ALU_LEVELS = (1, 2, 3, 4)                    # y9
+INT_MULDIV_LEVELS = (1, 2)                       # y10
+FP_ALU_LEVELS = (1, 2, 3)                        # y11
+FP_MUL_LEVELS = (1, 2)                           # y12
+PORT_LEVELS = (1, 2, 3, 4)                       # y13
+
+_LEVEL_COUNTS = (
+    len(WIDTH_LEVELS),
+    len(ROB_LEVELS),
+    len(L1_ASSOC_LEVELS),
+    len(MSHR_LEVELS),
+    len(DCACHE_KB_LEVELS),
+    len(ICACHE_KB_LEVELS),
+    len(L2_KB_LEVELS),
+    len(L2_LATENCY_LEVELS),
+    len(INT_ALU_LEVELS),
+    len(INT_MULDIV_LEVELS),
+    len(FP_ALU_LEVELS),
+    len(FP_MUL_LEVELS),
+    len(PORT_LEVELS),
+)
+
+HARDWARE_VARIABLE_NAMES = tuple(f"y{i}" for i in range(1, 14))
+
+HARDWARE_VARIABLE_LABELS = {
+    "y1": "pipeline width",
+    "y2": "OoO window (LSQ/registers/IQ/ROB)",
+    "y3": "L1/L2 associativity",
+    "y4": "MSHRs",
+    "y5": "data cache size (KB)",
+    "y6": "instruction cache size (KB)",
+    "y7": "L2 cache size (KB)",
+    "y8": "L2 latency (cycles)",
+    "y9": "integer ALUs",
+    "y10": "integer mul/div units",
+    "y11": "float ALUs",
+    "y12": "float multipliers",
+    "y13": "cache read/write ports",
+}
+
+CACHE_BLOCK_BYTES = 64
+MEMORY_LATENCY = 80  # cycles; fixed main-memory latency for the CPU study
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineConfig:
+    """One microarchitecture: a point in the Table 2 space.
+
+    Construct via :func:`config_from_levels`, :func:`sample_configs`, or
+    directly.  ``levels`` records the per-parameter level indices used for
+    enumeration; the named attributes hold the physical values.
+    """
+
+    width: int
+    lsq: int
+    registers: int
+    iq: int
+    rob: int
+    l1_assoc: int
+    l2_assoc: int
+    mshr: int
+    dcache_kb: int
+    icache_kb: int
+    l2_kb: int
+    l2_latency: int
+    int_alu: int
+    int_muldiv: int
+    fp_alu: int
+    fp_mul: int
+    ports: int
+    levels: Tuple[int, ...] = None
+
+    def as_vector(self) -> np.ndarray:
+        """The y1..y13 vector the regression models consume.
+
+        Ganged parameters are represented by one scalar each: y2 by the
+        reorder-buffer size, y3 by the L1 associativity.
+        """
+        return np.array(
+            [
+                self.width,
+                self.rob,
+                self.l1_assoc,
+                self.mshr,
+                self.dcache_kb,
+                self.icache_kb,
+                self.l2_kb,
+                self.l2_latency,
+                self.int_alu,
+                self.int_muldiv,
+                self.fp_alu,
+                self.fp_mul,
+                self.ports,
+            ],
+            dtype=float,
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable identifier for caching and reporting."""
+        if self.levels is not None:
+            return "cfg-" + "".join(str(l) for l in self.levels)
+        return "cfg-" + "-".join(str(int(v)) for v in self.as_vector())
+
+
+def config_from_levels(levels: Sequence[int]) -> PipelineConfig:
+    """Build a :class:`PipelineConfig` from 13 per-parameter level indices."""
+    levels = tuple(int(l) for l in levels)
+    if len(levels) != 13:
+        raise ValueError(f"expected 13 level indices, got {len(levels)}")
+    for i, (level, count) in enumerate(zip(levels, _LEVEL_COUNTS)):
+        if not 0 <= level < count:
+            raise ValueError(
+                f"level {level} out of range [0, {count}) for y{i + 1}"
+            )
+    w, oo, a, m, d, ic, l2, lat, ia, im, fa, fm, p = levels
+    return PipelineConfig(
+        width=WIDTH_LEVELS[w],
+        lsq=LSQ_LEVELS[oo],
+        registers=REGS_LEVELS[oo],
+        iq=IQ_LEVELS[oo],
+        rob=ROB_LEVELS[oo],
+        l1_assoc=L1_ASSOC_LEVELS[a],
+        l2_assoc=L2_ASSOC_LEVELS[a],
+        mshr=MSHR_LEVELS[m],
+        dcache_kb=DCACHE_KB_LEVELS[d],
+        icache_kb=ICACHE_KB_LEVELS[ic],
+        l2_kb=L2_KB_LEVELS[l2],
+        l2_latency=L2_LATENCY_LEVELS[lat],
+        int_alu=INT_ALU_LEVELS[ia],
+        int_muldiv=INT_MULDIV_LEVELS[im],
+        fp_alu=FP_ALU_LEVELS[fa],
+        fp_mul=FP_MUL_LEVELS[fm],
+        ports=PORT_LEVELS[p],
+        levels=levels,
+    )
+
+
+def design_space_size() -> int:
+    """Number of distinct microarchitectures in the Table 2 space."""
+    return int(np.prod(_LEVEL_COUNTS))
+
+
+def sample_configs(n: int, rng: np.random.Generator) -> List[PipelineConfig]:
+    """Sample ``n`` configurations uniformly at random (with replacement
+    across calls, without within one call when possible)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    seen = set()
+    configs = []
+    attempts = 0
+    while len(configs) < n and attempts < 50 * n:
+        levels = tuple(int(rng.integers(0, c)) for c in _LEVEL_COUNTS)
+        attempts += 1
+        if levels in seen:
+            continue
+        seen.add(levels)
+        configs.append(config_from_levels(levels))
+    if len(configs) < n:
+        raise RuntimeError(f"could not sample {n} distinct configurations")
+    return configs
+
+
+def enumerate_configs() -> Iterator[PipelineConfig]:
+    """Enumerate the entire design space (use sparingly: it is large)."""
+    for levels in itertools.product(*(range(c) for c in _LEVEL_COUNTS)):
+        yield config_from_levels(levels)
+
+
+def reference_config() -> PipelineConfig:
+    """A mid-range design used as the default in examples and tests."""
+    return config_from_levels((2, 3, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1))

@@ -1,0 +1,253 @@
+"""A cycle-level out-of-order simulator for cross-validating the interval model.
+
+The interval model (:mod:`repro.uarch.pipeline`) is fast enough to profile
+hundreds of architectures per application, but it is an analytic
+approximation.  This module provides an independent, *structural*
+simulator — fetch, dispatch, issue, execute, and in-order commit over an
+explicit reorder buffer, issue queue, and load/store queue, with the cache
+hierarchy simulated access by access — so the approximation can be checked
+(see ``tests/test_uarch_detailed.py`` and the timing-validation assertions).
+
+Deliberate simplifications, shared with the interval model so the two are
+comparable:
+
+* one cycle per ALU op at fetch/decode; execution latencies from
+  :data:`repro.isa.FU_LATENCY`;
+* a mispredicted branch stalls fetch until it executes, plus a front-end
+  refill proportional to machine width;
+* stores behave like loads (single unified cache port pool);
+* outstanding L1 misses are limited by the MSHR count: a load that would
+  miss cannot issue while all MSHRs are busy;
+* physical registers are subsumed by the ROB bound (they are ganged in the
+  Table 2 design space anyway).
+
+It is two to three orders of magnitude slower than the interval model and
+intended for shards of a few thousand instructions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.isa.instructions import FU_ISSUE_INTERVAL, FU_LATENCY, OpClass
+from repro.isa.trace import Trace
+from repro.spmv.cache import SetAssociativeCache
+from repro.uarch.config import CACHE_BLOCK_BYTES, MEMORY_LATENCY, PipelineConfig
+from repro.uarch.pipeline import BRANCH_BASE, BRANCH_WIDTH_SCALE
+
+
+@dataclasses.dataclass
+class DetailedResult:
+    """Outcome of one cycle-level simulation."""
+
+    cycles: int
+    instructions: int
+    l1d_misses: int
+    l1i_misses: int
+    l2_misses: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / max(1, self.instructions)
+
+
+class _Entry:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "index", "op", "dep", "addr", "issued", "done_at", "is_mem", "is_miss"
+    )
+
+    def __init__(self, index: int, op: int, dep: int, addr: int):
+        self.index = index
+        self.op = op
+        self.dep = dep
+        self.addr = addr
+        self.issued = False
+        self.done_at = -1
+        self.is_mem = op == int(OpClass.MEMORY)
+        self.is_miss = False
+
+
+class DetailedSimulator:
+    """Cycle-level OoO simulation of one shard on one configuration."""
+
+    def __init__(self, config: PipelineConfig, seed: int = 0):
+        self.config = config
+        block = CACHE_BLOCK_BYTES
+        self.l1d = SetAssociativeCache(
+            config.dcache_kb * 1024, block, config.l1_assoc, "LRU", seed
+        )
+        self.l1i = SetAssociativeCache(
+            config.icache_kb * 1024, block, config.l1_assoc, "LRU", seed + 1
+        )
+        self.l2 = SetAssociativeCache(
+            config.l2_kb * 1024, block, config.l2_assoc, "LRU", seed + 2
+        )
+        self.l1d_misses = 0
+        self.l1i_misses = 0
+        self.l2_misses = 0
+
+    # -- memory hierarchy ----------------------------------------------------------
+
+    def _data_latency(self, addr: int) -> int:
+        base = int(FU_LATENCY[OpClass.MEMORY])
+        if self.l1d.access(addr):
+            return base
+        self.l1d_misses += 1
+        if self.l2.access(addr):
+            return base + self.config.l2_latency
+        self.l2_misses += 1
+        return base + self.config.l2_latency + MEMORY_LATENCY
+
+    def _fetch_latency(self, iaddr: int) -> int:
+        if self.l1i.access(iaddr):
+            return 0
+        self.l1i_misses += 1
+        if self.l2.access(iaddr):
+            return self.config.l2_latency
+        self.l2_misses += 1
+        return self.config.l2_latency + MEMORY_LATENCY
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self, shard: Trace, max_cycles: Optional[int] = None) -> DetailedResult:
+        config = self.config
+        n = len(shard)
+        ops = shard.op
+        deps = shard.dep
+        addrs = shard.addr
+        iaddrs = shard.iaddr
+        miss_flags = shard.miss
+
+        done_at = np.full(n, -1, dtype=np.int64)   # completion cycle per instr
+        rob: List[_Entry] = []
+        next_fetch = 0
+        fetch_ready_at = 0            # front-end stall horizon
+        # Per-FU-class: cycle at which each unit is next free.
+        units = {
+            int(OpClass.CONTROL): [0] * max(1, config.width),
+            int(OpClass.FP_ALU): [0] * config.fp_alu,
+            int(OpClass.FP_MULDIV): [0] * config.fp_mul,
+            int(OpClass.INT_MULDIV): [0] * config.int_muldiv,
+            int(OpClass.INT_ALU): [0] * config.int_alu,
+            int(OpClass.MEMORY): [0] * config.ports,
+        }
+        penalty = int(BRANCH_BASE + BRANCH_WIDTH_SCALE * config.width)
+        limit = max_cycles or 400 * n + 10_000
+
+        cycle = 0
+        committed = 0
+        while committed < n and cycle < limit:
+            # 1. Commit in order, up to width per cycle.
+            commits = 0
+            while (
+                rob
+                and commits < config.width
+                and rob[0].done_at >= 0
+                and rob[0].done_at <= cycle
+            ):
+                rob.pop(0)
+                committed += 1
+                commits += 1
+
+            # 2. Issue: oldest-first within the issue queue.
+            in_queue = [e for e in rob if not e.issued]
+            issued = 0
+            mem_in_flight = sum(
+                1 for e in rob if e.is_mem and e.issued and e.done_at > cycle
+            )
+            misses_in_flight = sum(
+                1 for e in rob if e.is_miss and e.done_at > cycle
+            )
+            for entry in in_queue[: config.iq]:
+                if issued >= config.width:
+                    break
+                dep_index = entry.index - entry.dep
+                if entry.dep > 0 and dep_index >= 0:
+                    producer_done = done_at[dep_index]
+                    if producer_done < 0 or producer_done > cycle:
+                        continue
+                if entry.is_mem and mem_in_flight >= config.lsq:
+                    continue
+                if entry.is_mem and misses_in_flight >= config.mshr:
+                    # All miss-status registers busy: a load that would miss
+                    # must wait (probe leaves the cache untouched).
+                    if not self.l1d.probe(int(entry.addr)):
+                        continue
+                unit_pool = units[entry.op]
+                free = min(range(len(unit_pool)), key=unit_pool.__getitem__)
+                if unit_pool[free] > cycle:
+                    continue
+                if entry.is_mem:
+                    hit_before = self.l1d.probe(int(entry.addr))
+                    latency = self._data_latency(int(entry.addr))
+                    entry.is_miss = not hit_before
+                    if entry.is_miss:
+                        misses_in_flight += 1
+                else:
+                    latency = int(FU_LATENCY[entry.op])
+                unit_pool[free] = cycle + int(FU_ISSUE_INTERVAL[entry.op])
+                entry.issued = True
+                entry.done_at = cycle + latency
+                done_at[entry.index] = entry.done_at
+                if entry.is_mem:
+                    mem_in_flight += 1
+                issued += 1
+
+            # 3. Fetch/dispatch, up to width per cycle, ROB space permitting.
+            fetched = 0
+            while (
+                next_fetch < n
+                and fetched < config.width
+                and len(rob) < config.rob
+                and cycle >= fetch_ready_at
+            ):
+                stall = self._fetch_latency(int(iaddrs[next_fetch]))
+                if stall:
+                    fetch_ready_at = cycle + stall
+                    break
+                entry = _Entry(
+                    next_fetch,
+                    int(ops[next_fetch]),
+                    int(deps[next_fetch]),
+                    int(addrs[next_fetch]),
+                )
+                rob.append(entry)
+                if (
+                    entry.op == int(OpClass.CONTROL)
+                    and miss_flags[next_fetch]
+                ):
+                    # Mispredicted: fetch resumes a refill after resolution.
+                    fetch_ready_at = limit  # placeholder until it executes
+                    entry_penalty = penalty
+                    # Record so we can release when the branch completes:
+                    self._pending_redirect = (entry, entry_penalty)
+                next_fetch += 1
+                fetched += 1
+
+            # Release a pending redirect once its branch executed.
+            redirect = getattr(self, "_pending_redirect", None)
+            if redirect is not None:
+                entry, entry_penalty = redirect
+                if entry.done_at >= 0 and entry.done_at <= cycle:
+                    fetch_ready_at = cycle + entry_penalty
+                    self._pending_redirect = None
+
+            cycle += 1
+
+        return DetailedResult(
+            cycles=cycle,
+            instructions=committed,
+            l1d_misses=self.l1d_misses,
+            l1i_misses=self.l1i_misses,
+            l2_misses=self.l2_misses,
+        )
+
+
+def detailed_cpi(shard: Trace, config: PipelineConfig, seed: int = 0) -> float:
+    """CPI of ``shard`` on ``config`` under the cycle-level simulator."""
+    return DetailedSimulator(config, seed).run(shard).cpi

@@ -1,0 +1,69 @@
+"""High-level simulation entry points with per-shard statistic caching."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.isa.trace import Trace
+from repro.uarch.config import PipelineConfig
+from repro.uarch.pipeline import CycleBreakdown, cycle_breakdown, simulate_cpi
+from repro.uarch.shardstats import ShardStats, compute_shard_stats
+
+
+class Simulator:
+    """Trace-driven performance simulation over the Table 2 space.
+
+    Computing :class:`ShardStats` (stack distances + dataflow schedules) is
+    the expensive step; evaluating a configuration afterwards is cheap
+    closed-form arithmetic.  The simulator therefore memoizes statistics by
+    shard name so that profiling hundreds of architectures per application
+    costs one pass over each shard.
+    """
+
+    def __init__(self):
+        self._stats: Dict[str, ShardStats] = {}
+
+    def stats_for(self, shard: Trace) -> ShardStats:
+        """Return (possibly cached) detailed statistics for a shard."""
+        stats = self._stats.get(shard.name)
+        if stats is None or stats.n != len(shard):
+            stats = compute_shard_stats(shard)
+            self._stats[shard.name] = stats
+        return stats
+
+    def cpi(self, shard: Trace, config: PipelineConfig) -> float:
+        """Cycles per instruction of ``shard`` on ``config``."""
+        return simulate_cpi(self.stats_for(shard), config)
+
+    def breakdown(self, shard: Trace, config: PipelineConfig) -> CycleBreakdown:
+        """Cycle-component breakdown of ``shard`` on ``config``."""
+        return cycle_breakdown(self.stats_for(shard), config)
+
+    def cpi_matrix(
+        self,
+        shards: Sequence[Trace],
+        configs: Sequence[PipelineConfig],
+    ) -> np.ndarray:
+        """CPI for every (shard, config) pair, shaped (len(shards), len(configs))."""
+        stats = [self.stats_for(s) for s in shards]
+        out = np.empty((len(shards), len(configs)), dtype=float)
+        for i, st in enumerate(stats):
+            for j, cfg in enumerate(configs):
+                out[i, j] = simulate_cpi(st, cfg)
+        return out
+
+    def application_cpi(
+        self, shards: Iterable[Trace], config: PipelineConfig
+    ) -> float:
+        """End-to-end application CPI: cycle-weighted over its shards.
+
+        Matches the paper's aggregation (§4.4): predict per-shard
+        performance, then combine the shards' contributions.  Equal-length
+        shards make this the arithmetic mean of shard CPIs.
+        """
+        cpis = [self.cpi(s, config) for s in shards]
+        if not cpis:
+            raise ValueError("no shards supplied")
+        return float(np.mean(cpis))

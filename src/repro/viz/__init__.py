@@ -1,0 +1,27 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+``repro.viz.svg`` is a tiny chart library (lines, histograms, boxplots,
+heatmaps, grouped bars); ``repro.viz.figures`` maps experiment results to
+paper-style charts.  Used by ``python -m repro.experiments <id> --svg DIR``.
+"""
+
+from repro.viz.svg import (
+    boxplot_rows,
+    document,
+    grouped_bars,
+    heatmap,
+    histogram,
+    line_chart,
+)
+from repro.viz.figures import BUILDERS, render
+
+__all__ = [
+    "boxplot_rows",
+    "document",
+    "grouped_bars",
+    "heatmap",
+    "histogram",
+    "line_chart",
+    "BUILDERS",
+    "render",
+]

@@ -1,0 +1,206 @@
+"""Figure builders: experiment results -> paper-style SVG charts.
+
+Each builder takes the result object returned by the corresponding
+``repro.experiments.<driver>.run()`` and produces one or more SVG
+documents.  :func:`render` dispatches by experiment id and writes files
+to a directory — this is what ``python -m repro.experiments <id> --svg DIR``
+calls.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.viz.svg import (
+    boxplot_rows,
+    grouped_bars,
+    heatmap,
+    histogram,
+    line_chart,
+)
+
+
+def fig03(result) -> Dict[str, str]:
+    raw_counts, raw_edges = result.raw_histogram
+    tr_counts, tr_edges = result.transformed_histogram
+    return {
+        "fig03a_raw": histogram(
+            raw_counts.tolist(), raw_edges.tolist(),
+            "Figure 3(a): sum of re-use distances per shard",
+            "sum of 256B-block re-use distances",
+        ),
+        "fig03b_stabilized": histogram(
+            tr_counts.tolist(), tr_edges.tolist(),
+            "Figure 3(b): variance-stabilized x^(1/5)",
+            "(sum of re-use distances)^(1/5)",
+        ),
+    }
+
+
+def fig04(result) -> Dict[str, str]:
+    return {
+        "fig04_interactions": heatmap(
+            result.counts,
+            list(result.names),
+            list(result.names),
+            f"Figure 4: interaction frequency in {result.n_models} best models",
+            annotate=False,
+        )
+    }
+
+
+def fig05(result) -> Dict[str, str]:
+    return {
+        "fig05_convergence": line_chart(
+            {"sum of per-app median errors": (result.generations, result.sum_errors)},
+            "Figure 5: genetic search convergence",
+            "generation",
+            "sum of median errors",
+        )
+    }
+
+
+def fig07_08(result) -> Dict[str, str]:
+    rows = {}
+    for scenario in (
+        result.interpolation,
+        result.variant_extrapolation,
+        result.new_software,
+        result.new_hardware_software,
+    ):
+        stats = scenario.errors
+        rows[f"{scenario.name} (rho={scenario.correlation:.2f})"] = (
+            stats.minimum, stats.q1, stats.median, stats.q3, stats.maximum
+        )
+    return {
+        "fig07_errors": boxplot_rows(
+            rows, "Figures 7-8: prediction error by scenario",
+            "absolute percentage error",
+        )
+    }
+
+
+def fig10(result) -> Dict[str, str]:
+    rows = {
+        f"{app} (rho={result.per_application_rho[app]:.2f})": (
+            stats.minimum, stats.q1, stats.median, stats.q3, stats.maximum
+        )
+        for app, stats in result.per_application.items()
+    }
+    return {
+        "fig10_shard_extrapolation": boxplot_rows(
+            rows, "Figure 10: shard-level extrapolation error",
+            "absolute percentage error",
+        )
+    }
+
+
+def fig12_13(result) -> Dict[str, str]:
+    return {
+        "fig12_blocking": grouped_bars(
+            {
+                str(k): {"block rows": result.by_brow[k], "block cols": result.by_bcol[k]}
+                for k in sorted(result.by_brow)
+            },
+            "Figure 12: SpMV performance vs. block size (raefsky3)",
+            "average Mflop/s",
+        ),
+        "fig13_cache": grouped_bars(
+            {str(k): {"line size (B)": v} for k, v in result.by_line.items()},
+            "Figure 13: SpMV performance vs. cache line size",
+            "average Mflop/s",
+        ),
+    }
+
+
+def fig14(result) -> Dict[str, str]:
+    rows = {}
+    for name, acc in result.per_matrix.items():
+        stats = acc.performance
+        rows[name] = (stats.minimum, stats.q1, stats.median, stats.q3, stats.maximum)
+    return {
+        "fig14_accuracy": boxplot_rows(
+            rows, "Figure 14: SpMV performance prediction error",
+            "absolute percentage error",
+        )
+    }
+
+
+def fig15(result) -> Dict[str, str]:
+    block_labels = [str(b) for b in range(1, 9)]
+    base = result.profiled[0, 0]
+    base_pred = result.predicted[0, 0]
+    return {
+        "fig15a_profiled": heatmap(
+            (result.profiled / base).tolist(), block_labels, block_labels,
+            "Figure 15(a): profiled speedup over 1x1 (nasasrb)",
+        ),
+        "fig15b_predicted": heatmap(
+            (result.predicted / base_pred).tolist(), block_labels, block_labels,
+            "Figure 15(b): predicted speedup over 1x1 (nasasrb)",
+        ),
+    }
+
+
+def fig16(result) -> Dict[str, str]:
+    speed = {
+        name: {
+            "application": tuning.application.speedup,
+            "architecture": tuning.architecture.speedup,
+            "coordinated": tuning.coordinated.speedup,
+        }
+        for name, tuning in result.per_matrix.items()
+    }
+    energy = {
+        name: {
+            "baseline": tuning.baseline.nj_per_flop,
+            "application": tuning.application.nj_per_flop,
+            "architecture": tuning.architecture.nj_per_flop,
+            "coordinated": tuning.coordinated.nj_per_flop,
+        }
+        for name, tuning in result.per_matrix.items()
+    }
+    return {
+        "fig16a_speedup": grouped_bars(
+            speed, "Figure 16(a): speedup by tuning strategy", "speedup (x)"
+        ),
+        "fig16b_energy": grouped_bars(
+            energy, "Figure 16(b): energy by tuning strategy", "nJ/Flop"
+        ),
+    }
+
+
+#: Experiment id -> figure builder.  Ids match repro.experiments.__main__.
+BUILDERS: Dict[str, Callable] = {
+    "fig03": fig03,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig07-08": fig07_08,
+    "fig10": fig10,
+    "fig12-13": fig12_13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+}
+
+
+def render(experiment_id: str, result, out_dir) -> List[Path]:
+    """Render the figures of one experiment into ``out_dir``.
+
+    Returns the written paths; experiments without a figure builder (the
+    purely tabular ones) return an empty list.
+    """
+    builder = BUILDERS.get(experiment_id)
+    if builder is None:
+        return []
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for stem, svg_text in builder(result).items():
+        path = out / f"{stem}.svg"
+        path.write_text(svg_text)
+        written.append(path)
+    return written

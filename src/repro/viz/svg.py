@@ -1,0 +1,355 @@
+"""A small dependency-free SVG chart library.
+
+matplotlib is unavailable in this environment, and the experiment drivers
+only need a handful of chart types to render the paper's figures: line
+charts (Figure 5), histograms (Figure 3), boxplot rows (Figures 7, 10, 14),
+heatmaps (Figures 4, 15), and grouped bars (Figures 12, 13, 16).  This
+module provides exactly those, emitting self-contained SVG documents.
+
+All charts share one geometry helper (:class:`Frame`) that maps data
+coordinates onto a padded pixel viewport and draws axes with tick labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+WIDTH = 640
+HEIGHT = 400
+MARGIN_LEFT = 70
+MARGIN_RIGHT = 20
+MARGIN_TOP = 44
+MARGIN_BOTTOM = 52
+
+#: A small colorblind-friendly cycle.
+PALETTE = ("#3a6ea5", "#d1495b", "#66a182", "#edae49", "#6f5e76", "#2e4057")
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for tick labels."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2f}"
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round-ish tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, n - 1)
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for step in (1, 2, 2.5, 5, 10):
+        if raw <= step * magnitude:
+            raw = step * magnitude
+            break
+    first = (lo // raw) * raw
+    ticks = []
+    value = first
+    while value <= hi + raw * 1e-9:
+        if value >= lo - raw * 1e-9:
+            ticks.append(round(value, 10))
+        value += raw
+    return ticks or [lo, hi]
+
+
+@dataclasses.dataclass
+class Frame:
+    """Maps data space onto the padded SVG viewport."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    width: int = WIDTH
+    height: int = HEIGHT
+
+    def __post_init__(self):
+        if self.x_max <= self.x_min:
+            self.x_max = self.x_min + 1.0
+        if self.y_max <= self.y_min:
+            self.y_max = self.y_min + 1.0
+
+    @property
+    def plot_width(self) -> float:
+        return self.width - MARGIN_LEFT - MARGIN_RIGHT
+
+    @property
+    def plot_height(self) -> float:
+        return self.height - MARGIN_TOP - MARGIN_BOTTOM
+
+    def x(self, value: float) -> float:
+        frac = (value - self.x_min) / (self.x_max - self.x_min)
+        return MARGIN_LEFT + frac * self.plot_width
+
+    def y(self, value: float) -> float:
+        frac = (value - self.y_min) / (self.y_max - self.y_min)
+        return self.height - MARGIN_BOTTOM - frac * self.plot_height
+
+    def axes(self, title: str, x_label: str, y_label: str,
+             x_tick_labels: Optional[Dict[float, str]] = None) -> List[str]:
+        """Axis lines, ticks, labels, and the chart title."""
+        parts = [
+            f'<rect x="0" y="0" width="{self.width}" height="{self.height}" '
+            'fill="white"/>',
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{escape(title)}</text>',
+        ]
+        x0, y0 = MARGIN_LEFT, self.height - MARGIN_BOTTOM
+        x1, y1 = self.width - MARGIN_RIGHT, MARGIN_TOP
+        parts.append(
+            f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>'
+        )
+        parts.append(
+            f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>'
+        )
+        if x_tick_labels is None:
+            x_tick_labels = {t: _fmt(t) for t in _ticks(self.x_min, self.x_max)}
+        for value, label in x_tick_labels.items():
+            px = self.x(value)
+            if not (x0 - 1 <= px <= x1 + 1):
+                continue
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y0 + 5}" '
+                'stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{y0 + 18}" text-anchor="middle" '
+                f'font-size="11">{escape(label)}</text>'
+            )
+        for value in _ticks(self.y_min, self.y_max):
+            py = self.y(value)
+            if not (y1 - 1 <= py <= y0 + 1):
+                continue
+            parts.append(
+                f'<line x1="{x0 - 5}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" '
+                'stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{x0 - 8}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{_fmt(value)}</text>'
+            )
+            parts.append(
+                f'<line x1="{x0}" y1="{py:.1f}" x2="{x1}" y2="{py:.1f}" '
+                'stroke="#dddddd" stroke-width="0.5"/>'
+            )
+        parts.append(
+            f'<text x="{(x0 + x1) / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle" font-size="12">{escape(x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{(y0 + y1) / 2}" text-anchor="middle" '
+            f'font-size="12" transform="rotate(-90 16 {(y0 + y1) / 2})">'
+            f"{escape(y_label)}</text>"
+        )
+        return parts
+
+
+def document(parts: Sequence[str], width: int = WIDTH, height: int = HEIGHT) -> str:
+    """Wrap drawing parts into a complete SVG document."""
+    body = "\n".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" font-family="Helvetica, Arial, sans-serif">\n'
+        f"{body}\n</svg>\n"
+    )
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> str:
+    """Multi-series line chart; series maps name -> (xs, ys)."""
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    frame = Frame(min(all_x), max(all_x), min(min(all_y), 0), max(all_y) * 1.05)
+    parts = frame.axes(title, x_label, y_label)
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(f"{frame.x(x):.1f},{frame.y(y):.1f}" for x, y in zip(xs, ys))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            'stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{frame.x(x):.1f}" cy="{frame.y(y):.1f}" r="2.5" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_RIGHT - 6}" y="{MARGIN_TOP + 16 + 16 * i}" '
+            f'text-anchor="end" font-size="11" fill="{color}">{escape(name)}</text>'
+        )
+    return document(parts)
+
+
+def histogram(
+    counts: Sequence[float],
+    edges: Sequence[float],
+    title: str,
+    x_label: str,
+    y_label: str = "shards",
+) -> str:
+    """Histogram from numpy-style (counts, edges)."""
+    if len(edges) != len(counts) + 1:
+        raise ValueError("edges must have one more entry than counts")
+    frame = Frame(edges[0], edges[-1], 0, max(max(counts), 1) * 1.05)
+    parts = frame.axes(title, x_label, y_label)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        x = frame.x(lo)
+        w = max(frame.x(hi) - x - 1, 0.5)
+        y = frame.y(count)
+        h = frame.y(0) - y
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{PALETTE[0]}" fill-opacity="0.85"/>'
+        )
+    return document(parts)
+
+
+def boxplot_rows(
+    rows: Dict[str, Tuple[float, float, float, float, float]],
+    title: str,
+    x_label: str,
+) -> str:
+    """Horizontal boxplots; rows maps label -> (min, q1, median, q3, max)."""
+    if not rows:
+        raise ValueError("boxplot_rows needs at least one row")
+    hi = max(stats[4] for stats in rows.values())
+    frame = Frame(0, hi * 1.05, 0, len(rows))
+    labels = {}
+    parts = frame.axes(title, x_label, "", x_tick_labels=None)
+    for i, (label, (lo, q1, med, q3, top)) in enumerate(rows.items()):
+        cy = frame.y(i + 0.5)
+        half = min(14.0, frame.plot_height / (2.5 * len(rows)))
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<line x1="{frame.x(lo):.1f}" y1="{cy:.1f}" '
+            f'x2="{frame.x(top):.1f}" y2="{cy:.1f}" stroke="{color}"/>'
+        )
+        for whisker in (lo, top):
+            parts.append(
+                f'<line x1="{frame.x(whisker):.1f}" y1="{cy - half:.1f}" '
+                f'x2="{frame.x(whisker):.1f}" y2="{cy + half:.1f}" stroke="{color}"/>'
+            )
+        parts.append(
+            f'<rect x="{frame.x(q1):.1f}" y="{cy - half:.1f}" '
+            f'width="{max(frame.x(q3) - frame.x(q1), 0.5):.1f}" '
+            f'height="{2 * half:.1f}" fill="{color}" fill-opacity="0.35" '
+            f'stroke="{color}"/>'
+        )
+        parts.append(
+            f'<line x1="{frame.x(med):.1f}" y1="{cy - half:.1f}" '
+            f'x2="{frame.x(med):.1f}" y2="{cy + half:.1f}" stroke="{color}" '
+            'stroke-width="2.5"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 8}" y="{cy + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{escape(label)}</text>'
+        )
+        labels[label] = cy
+    return document(parts)
+
+
+def heatmap(
+    grid,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str,
+    annotate: bool = True,
+) -> str:
+    """Matrix heatmap with optional cell annotations."""
+    n_rows = len(row_labels)
+    n_cols = len(col_labels)
+    values = [[float(grid[i][j]) for j in range(n_cols)] for i in range(n_rows)]
+    flat = [v for row in values for v in row]
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    frame = Frame(0, n_cols, 0, n_rows)
+    parts = frame.axes(
+        title, "", "",
+        x_tick_labels={j + 0.5: str(lbl) for j, lbl in enumerate(col_labels)},
+    )
+    for i in range(n_rows):
+        for j in range(n_cols):
+            frac = (values[i][j] - lo) / span
+            # White -> deep blue ramp.
+            shade = int(235 - frac * 165)
+            x = frame.x(j)
+            y = frame.y(n_rows - i)  # row 0 at the top
+            w = frame.x(j + 1) - x
+            h = frame.y(n_rows - i - 1) - y
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+                f'fill="rgb({shade},{shade + int(frac * 10)},235)" stroke="#f5f5f5"/>'
+            )
+            if annotate:
+                parts.append(
+                    f'<text x="{x + w / 2:.1f}" y="{y + h / 2 + 4:.1f}" '
+                    f'text-anchor="middle" font-size="10">'
+                    f"{_fmt(values[i][j])}</text>"
+                )
+    for i, label in enumerate(row_labels):
+        cy = (frame.y(n_rows - i) + frame.y(n_rows - i - 1)) / 2
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 8}" y="{cy + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{escape(str(label))}</text>'
+        )
+    return document(parts)
+
+
+def grouped_bars(
+    groups: Dict[str, Dict[str, float]],
+    title: str,
+    y_label: str,
+) -> str:
+    """Grouped bar chart; groups maps group label -> {series label: value}."""
+    if not groups:
+        raise ValueError("grouped_bars needs at least one group")
+    series_names: List[str] = []
+    for entries in groups.values():
+        for name in entries:
+            if name not in series_names:
+                series_names.append(name)
+    hi = max(v for entries in groups.values() for v in entries.values())
+    frame = Frame(0, len(groups), 0, hi * 1.1)
+    parts = frame.axes(
+        title, "", y_label,
+        x_tick_labels={
+            i + 0.5: label for i, label in enumerate(groups)
+        },
+    )
+    band = frame.plot_width / len(groups)
+    bar = band * 0.8 / max(1, len(series_names))
+    for g, (group, entries) in enumerate(groups.items()):
+        base_x = frame.x(g) + band * 0.1
+        for s, name in enumerate(series_names):
+            value = entries.get(name)
+            if value is None:
+                continue
+            color = PALETTE[s % len(PALETTE)]
+            y = frame.y(value)
+            parts.append(
+                f'<rect x="{base_x + s * bar:.1f}" y="{y:.1f}" '
+                f'width="{bar * 0.92:.1f}" height="{frame.y(0) - y:.1f}" '
+                f'fill="{color}"/>'
+            )
+    for s, name in enumerate(series_names):
+        color = PALETTE[s % len(PALETTE)]
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_RIGHT - 6}" y="{MARGIN_TOP + 16 + 16 * s}" '
+            f'text-anchor="end" font-size="11" fill="{color}">{escape(name)}</text>'
+        )
+    return document(parts)

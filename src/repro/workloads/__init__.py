@@ -1,0 +1,36 @@
+"""Synthetic SPEC2006-like workload substrate.
+
+The paper profiles seven SPEC2006 applications cross-compiled to Alpha and
+run under Gem5.  Those binaries and that simulator are unavailable here, so
+this package generates *synthetic dynamic instruction traces* from
+parameterized behavior specifications (see DESIGN.md §1).  Each specification
+controls exactly the axes the paper's Table 1 characteristics measure:
+instruction mix, branch behavior, temporal/spatial data locality,
+instruction-stream locality, instruction-level parallelism, and basic-block
+size — with multi-phase structure inside each application so that shard-level
+profiles expose intra-application diversity (§2.1 of the paper).
+"""
+
+from repro.workloads.behaviors import PhaseSpec, BehaviorSpec
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.suite import (
+    SPEC_APP_NAMES,
+    spec2006_suite,
+    application_spec,
+    optimization_variant,
+    input_variant,
+    random_behavior_spec,
+)
+
+__all__ = [
+    "PhaseSpec",
+    "BehaviorSpec",
+    "TraceGenerator",
+    "generate_trace",
+    "SPEC_APP_NAMES",
+    "spec2006_suite",
+    "application_spec",
+    "optimization_variant",
+    "input_variant",
+    "random_behavior_spec",
+]

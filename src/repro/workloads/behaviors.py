@@ -1,0 +1,203 @@
+"""Behavior specifications for synthetic applications.
+
+A :class:`PhaseSpec` describes one program phase as a small set of
+statistical knobs; a :class:`BehaviorSpec` sequences phases into an
+application.  The knobs map one-to-one onto mechanisms in the trace
+generator:
+
+* ``mix`` drives opcode-class sampling (Table 1 x1, x3..x7),
+* ``taken_rate``/``mispredict_rate`` drive branch outcomes (x2),
+* ``reuse_mu``/``reuse_sigma``/``new_block_rate``/``stream_rate`` drive the
+  LRU-stack data-address model (x8),
+* ``code_blocks``/``far_jump_rate`` drive the instruction-address model (x9),
+* ``dep_mean``/``indep_rate`` drive producer-consumer distances (x10..x12),
+* the control fraction of ``mix`` determines basic-block size (x13).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Order of mix keys; mirrors OpClass integer order.
+MIX_KEYS = ("control", "fp_alu", "fp_muldiv", "int_muldiv", "int_alu", "memory")
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSpec:
+    """Statistical description of one application phase.
+
+    Parameters
+    ----------
+    mix:
+        Mapping from opcode-class name (see :data:`MIX_KEYS`) to its
+        probability in the dynamic stream.  Must sum to 1 (±1e-6).
+    taken_rate:
+        Fraction of control instructions whose branch is taken.
+    mispredict_rate:
+        Fraction of control instructions a reference branch predictor
+        mispredicts.  This is a software property in our substrate.
+    reuse_mu, reuse_sigma:
+        Parameters of the lognormal LRU-stack-depth distribution for data
+        accesses (in 64-byte blocks).  Larger ``mu`` means a larger working
+        set and worse temporal locality.
+    new_block_rate:
+        Probability a data access touches a never-before-seen block
+        (compulsory-miss stream / footprint growth).
+    stream_rate:
+        Probability a data access continues a sequential (unit-stride)
+        streaming run.  Controls spatial locality.
+    code_blocks:
+        Number of 64-byte instruction blocks in the hot loop body.
+    far_jump_rate:
+        Probability a taken branch leaves the hot loop for a distant
+        function (instruction-cache pressure).
+    dep_mean:
+        Mean distance, in dynamic instructions, between an instruction and
+        the producer of its critical operand.  Smaller means longer
+        dependence chains and less ILP.
+    indep_rate:
+        Probability an instruction has no in-window register dependence.
+    recurrence_interval:
+        When positive, every ``recurrence_interval``-th instruction carries
+        a loop-borne dependence on the previous such instruction, forming
+        one chain that spans the whole phase — the recurrences of solvers
+        and pointer chases that bound ILP regardless of window size.
+        0 disables the chain.
+    """
+
+    mix: Dict[str, float]
+    taken_rate: float = 0.5
+    mispredict_rate: float = 0.05
+    reuse_mu: float = 3.0
+    reuse_sigma: float = 1.2
+    new_block_rate: float = 0.02
+    stream_rate: float = 0.3
+    code_blocks: int = 32
+    far_jump_rate: float = 0.02
+    dep_mean: float = 6.0
+    indep_rate: float = 0.35
+    recurrence_interval: int = 0
+
+    def __post_init__(self):
+        unknown = set(self.mix) - set(MIX_KEYS)
+        if unknown:
+            raise ValueError(f"unknown mix keys: {sorted(unknown)}")
+        total = sum(self.mix.get(k, 0.0) for k in MIX_KEYS)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"mix probabilities must sum to 1, got {total}")
+        for name, lo, hi in [
+            ("taken_rate", 0.0, 1.0),
+            ("mispredict_rate", 0.0, 1.0),
+            ("new_block_rate", 0.0, 1.0),
+            ("stream_rate", 0.0, 1.0),
+            ("far_jump_rate", 0.0, 1.0),
+            ("indep_rate", 0.0, 1.0),
+        ]:
+            value = getattr(self, name)
+            if not lo <= value <= hi:
+                raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+        if self.dep_mean < 1.0:
+            raise ValueError(f"dep_mean must be >= 1, got {self.dep_mean}")
+        if self.code_blocks < 1:
+            raise ValueError(f"code_blocks must be >= 1, got {self.code_blocks}")
+        if self.recurrence_interval < 0:
+            raise ValueError(
+                f"recurrence_interval must be >= 0, got {self.recurrence_interval}"
+            )
+
+    def mix_vector(self) -> np.ndarray:
+        """Return mix probabilities ordered by :class:`OpClass` value."""
+        vec = np.array([self.mix.get(k, 0.0) for k in MIX_KEYS], dtype=float)
+        return vec / vec.sum()
+
+    def perturbed(self, rng: np.random.Generator, scale: float) -> "PhaseSpec":
+        """Return a copy with all knobs jittered multiplicatively by ``scale``.
+
+        Used to derive application *variants* (different inputs, different
+        compiler optimization levels) that shift both software
+        characteristics and performance, as the paper observes (§4.4).
+        """
+
+        def jitter(value, lo=None, hi=None):
+            factor = float(np.exp(rng.normal(0.0, scale)))
+            out = value * factor
+            if lo is not None:
+                out = max(lo, out)
+            if hi is not None:
+                out = min(hi, out)
+            return out
+
+        raw_mix = {k: jitter(v) for k, v in self.mix.items() if v > 0}
+        total = sum(raw_mix.values())
+        mix = {k: v / total for k, v in raw_mix.items()}
+        return dataclasses.replace(
+            self,
+            mix=mix,
+            taken_rate=jitter(self.taken_rate, 0.01, 0.99),
+            mispredict_rate=jitter(self.mispredict_rate, 0.001, 0.5),
+            reuse_mu=jitter(self.reuse_mu, 0.5, 9.0),
+            reuse_sigma=jitter(self.reuse_sigma, 0.3, 3.0),
+            new_block_rate=jitter(self.new_block_rate, 0.0005, 0.3),
+            stream_rate=jitter(self.stream_rate, 0.0, 0.95),
+            code_blocks=max(1, int(round(jitter(self.code_blocks)))),
+            far_jump_rate=jitter(self.far_jump_rate, 0.0, 0.3),
+            dep_mean=jitter(self.dep_mean, 1.5, 40.0),
+            indep_rate=jitter(self.indep_rate, 0.02, 0.9),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BehaviorSpec:
+    """An application: a name plus a weighted sequence of phases.
+
+    Parameters
+    ----------
+    name:
+        Application identifier (e.g. ``"astar"``).
+    phases:
+        Sequence of ``(PhaseSpec, weight)``.  Weights are relative dynamic
+        instruction shares and need not sum to 1.
+    phase_run:
+        Number of consecutive shard-lengths spent in one phase before
+        switching.  Keeping runs longer than a shard ensures shards fall
+        inside phases — the paper's requirement that shards be shorter than
+        phases (§2.1).
+    """
+
+    name: str
+    phases: Sequence[Tuple[PhaseSpec, float]]
+    phase_run: int = 4
+
+    def __post_init__(self):
+        if not self.phases:
+            raise ValueError("an application needs at least one phase")
+        if any(w <= 0 for _, w in self.phases):
+            raise ValueError("phase weights must be positive")
+        if self.phase_run < 1:
+            raise ValueError("phase_run must be >= 1")
+
+    def phase_weights(self) -> np.ndarray:
+        weights = np.array([w for _, w in self.phases], dtype=float)
+        return weights / weights.sum()
+
+    def phase_schedule(self, n_segments: int) -> List[int]:
+        """Deterministic round-robin phase schedule honoring weights.
+
+        Returns the phase index for each of ``n_segments`` equal segments.
+        The schedule interleaves phases (A A B A A B ...) rather than
+        concatenating them so that long traces show recurring phase behavior.
+        """
+        weights = self.phase_weights()
+        # Largest-remainder style interleaving: repeatedly pick the phase
+        # whose emitted share lags its target share the most.
+        emitted = np.zeros(len(weights))
+        schedule = []
+        for i in range(n_segments):
+            deficit = weights * (i + 1) - emitted
+            pick = int(np.argmax(deficit))
+            schedule.append(pick)
+            emitted[pick] += 1.0
+        return schedule

@@ -1,0 +1,267 @@
+"""Synthetic dynamic-trace generation from behavior specifications.
+
+The generator turns the statistical knobs of a :class:`PhaseSpec` into a
+concrete committed instruction stream:
+
+* opcode classes are sampled i.i.d. from the phase mix;
+* branch outcomes are Bernoulli draws at the phase's taken/mispredict rates;
+* data addresses follow an **LRU-stack model**: each access either continues
+  a unit-stride streaming run, touches a brand-new block, or re-touches the
+  block at a lognormally distributed stack depth.  This gives direct control
+  over the re-use distance distribution the paper profiles (Table 1 x8,
+  Figure 3) while producing a real address stream the cache models can
+  consume;
+* instruction addresses walk a hot loop of configurable size with occasional
+  far jumps, controlling instruction-cache locality (x9);
+* dependence distances are geometric draws, controlling ILP (x10..x13).
+
+State (LRU stack, program counter, block allocator) persists across phases
+of one application so the address space is coherent end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.isa.instructions import OpClass, empty_trace
+from repro.isa.trace import Trace
+from repro.workloads.behaviors import BehaviorSpec, PhaseSpec
+
+BLOCK_BYTES = 64
+WORD_BYTES = 8
+WORDS_PER_BLOCK = BLOCK_BYTES // WORD_BYTES
+INSTRUCTION_BYTES = 4
+
+#: Bound on the LRU stack the generator maintains.  Deeper references are
+#: treated as touches to new blocks (effectively infinite re-use distance).
+MAX_STACK = 1 << 16
+
+#: Mean length (accesses) of a unit-stride streaming run once started.
+STREAM_RUN_MEAN = 12
+
+#: Number of distant code regions far jumps may target.
+FAR_REGIONS = 16
+
+
+class _AddressState:
+    """Mutable data-address state shared across the phases of one trace."""
+
+    def __init__(self):
+        self.stack: List[int] = []
+        self.next_block = 1  # block 0 reserved so addr 0 means "no access"
+        self.stream_left = 0
+        self.last_addr = 0
+
+    def new_block(self) -> int:
+        block = self.next_block
+        self.next_block += 1
+        return block
+
+
+class TraceGenerator:
+    """Generates reproducible traces for a :class:`BehaviorSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The application behavior description.
+    seed:
+        Seed for the dedicated random generator.  The same (spec, seed,
+        length) always yields the identical trace.
+    """
+
+    def __init__(self, spec: BehaviorSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+
+    def generate(self, n_instructions: int, shard_length: Optional[int] = None) -> Trace:
+        """Generate a trace of ``n_instructions``.
+
+        ``shard_length`` sets the phase-segment granularity (segments are
+        ``phase_run`` shards long); it defaults to 1/16 of the trace.
+        """
+        if n_instructions <= 0:
+            raise ValueError(f"n_instructions must be positive, got {n_instructions}")
+        if shard_length is None:
+            shard_length = max(1, n_instructions // 16)
+        segment_len = shard_length * self.spec.phase_run
+        n_segments = max(1, -(-n_instructions // segment_len))
+        schedule = self.spec.phase_schedule(n_segments)
+
+        rng = np.random.default_rng(self.seed)
+        addr_state = _AddressState()
+        pc_state = {"pc": 0, "region": 0}
+
+        pieces = []
+        remaining = n_instructions
+        for phase_index in schedule:
+            if remaining <= 0:
+                break
+            length = min(segment_len, remaining)
+            phase = self.spec.phases[phase_index][0]
+            pieces.append(
+                _generate_segment(phase, length, rng, addr_state, pc_state)
+            )
+            remaining -= length
+        data = np.concatenate(pieces)
+        return Trace(data[:n_instructions], self.spec.name)
+
+
+def generate_trace(
+    spec: BehaviorSpec,
+    n_instructions: int,
+    seed: int = 0,
+    shard_length: Optional[int] = None,
+) -> Trace:
+    """Convenience wrapper: ``TraceGenerator(spec, seed).generate(...)``."""
+    return TraceGenerator(spec, seed).generate(n_instructions, shard_length)
+
+
+def _generate_segment(
+    phase: PhaseSpec,
+    n: int,
+    rng: np.random.Generator,
+    addr_state: _AddressState,
+    pc_state: dict,
+) -> np.ndarray:
+    """Generate one phase segment of ``n`` instructions."""
+    out = empty_trace(n)
+
+    ops = rng.choice(len(phase.mix_vector()), size=n, p=phase.mix_vector())
+    out["op"] = ops.astype(np.int8)
+
+    control = ops == int(OpClass.CONTROL)
+    n_control = int(control.sum())
+    out["taken"][control] = rng.random(n_control) < phase.taken_rate
+    out["miss"][control] = rng.random(n_control) < phase.mispredict_rate
+
+    dep = rng.geometric(1.0 / phase.dep_mean, size=n).astype(np.int32)
+    dep[rng.random(n) < phase.indep_rate] = 0
+    if phase.recurrence_interval > 0:
+        # A loop-carried chain: every m-th instruction depends on the
+        # previous chain member, serializing across the whole phase.
+        m = phase.recurrence_interval
+        dep[m::m] = m
+    out["dep"] = dep
+
+    mem_idx = np.flatnonzero(ops == int(OpClass.MEMORY))
+    if len(mem_idx):
+        out["addr"][mem_idx] = _generate_data_addresses(
+            phase, len(mem_idx), rng, addr_state
+        )
+
+    out["iaddr"] = _generate_instruction_addresses(
+        phase, out["op"], out["taken"], rng, pc_state
+    )
+    return out
+
+
+def _generate_data_addresses(
+    phase: PhaseSpec,
+    n_accesses: int,
+    rng: np.random.Generator,
+    state: _AddressState,
+) -> np.ndarray:
+    """LRU-stack data-address model (see module docstring)."""
+    addrs = np.empty(n_accesses, dtype=np.int64)
+    # Pre-draw all randomness in bulk; the loop only consumes it.
+    u_kind = rng.random(n_accesses)
+    depths = rng.lognormal(phase.reuse_mu, phase.reuse_sigma, size=n_accesses)
+    offsets = rng.integers(0, WORDS_PER_BLOCK, size=n_accesses)
+    run_lengths = rng.geometric(1.0 / STREAM_RUN_MEAN, size=n_accesses)
+
+    stack = state.stack
+    stream_threshold = phase.stream_rate
+    new_threshold = phase.stream_rate + phase.new_block_rate
+
+    for i in range(n_accesses):
+        if state.stream_left > 0:
+            # Continue a unit-stride run.
+            state.stream_left -= 1
+            addr = state.last_addr + WORD_BYTES
+            block = addr // BLOCK_BYTES
+            _touch(stack, block)
+        else:
+            u = u_kind[i]
+            if u < stream_threshold:
+                # Start a new streaming run from a fresh block.
+                state.stream_left = int(run_lengths[i])
+                block = state.new_block()
+                stack.insert(0, block)
+                addr = block * BLOCK_BYTES
+            elif u < new_threshold or not stack:
+                block = state.new_block()
+                stack.insert(0, block)
+                addr = block * BLOCK_BYTES + int(offsets[i]) * WORD_BYTES
+            else:
+                depth = min(int(depths[i]), len(stack) - 1)
+                block = stack.pop(depth)
+                stack.insert(0, block)
+                addr = block * BLOCK_BYTES + int(offsets[i]) * WORD_BYTES
+        if len(stack) > MAX_STACK:
+            del stack[MAX_STACK:]
+        state.last_addr = addr
+        addrs[i] = addr
+    return addrs
+
+
+def _touch(stack: List[int], block: int) -> None:
+    """Move ``block`` to the stack front (bounded linear scan)."""
+    try:
+        stack.remove(block)
+    except ValueError:
+        pass
+    stack.insert(0, block)
+
+
+def _generate_instruction_addresses(
+    phase: PhaseSpec,
+    ops: np.ndarray,
+    taken: np.ndarray,
+    rng: np.random.Generator,
+    state: dict,
+) -> np.ndarray:
+    """Hot-loop instruction-address model.
+
+    The program counter advances 4 bytes per instruction.  At a taken
+    branch it either loops back to the start of the current region (the
+    common case) or far-jumps to one of :data:`FAR_REGIONS` distant
+    regions.  Region size is ``code_blocks`` 64-byte blocks, so small
+    ``code_blocks`` yields tight instruction locality.
+    """
+    n = len(ops)
+    iaddr = np.empty(n, dtype=np.int64)
+    region_bytes = phase.code_blocks * BLOCK_BYTES
+    region_spacing = 1 << 20  # regions are 1 MiB apart: never alias
+
+    branch_positions = np.flatnonzero((ops == int(OpClass.CONTROL)) & taken)
+    n_branches = len(branch_positions)
+    far = rng.random(n_branches) < phase.far_jump_rate
+    far_targets = rng.integers(0, FAR_REGIONS, size=n_branches)
+    returns_home = rng.random(n_branches) < 0.8
+
+    pc = state["pc"]
+    region = state["region"]
+    prev = 0
+    for j, pos in enumerate(branch_positions):
+        length = pos - prev + 1
+        base = region * region_spacing
+        offs = (pc + np.arange(length) * INSTRUCTION_BYTES) % region_bytes
+        iaddr[prev : pos + 1] = base + offs
+        pc = 0  # every taken branch lands at the start of its target region
+        if far[j]:
+            region = 1 + int(far_targets[j])  # region 0 is the main loop
+        elif region != 0 and returns_home[j]:
+            region = 0  # return from a far function to the main loop
+        prev = pos + 1
+    # Tail after the last taken branch.
+    if prev < n:
+        base = region * region_spacing
+        offs = (pc + np.arange(n - prev) * INSTRUCTION_BYTES) % region_bytes
+        iaddr[prev:] = base + offs
+        pc = int((pc + (n - prev) * INSTRUCTION_BYTES) % region_bytes)
+    state["pc"] = pc
+    state["region"] = region
+    return iaddr

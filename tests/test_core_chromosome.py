@@ -1,0 +1,150 @@
+"""Unit and property tests for the genetic encoding and its operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Chromosome, TransformKind
+from repro.core.chromosome import (
+    N_GENE_VALUES,
+    crossover_create_interaction,
+    crossover_interaction,
+    crossover_variable,
+    mutate_interaction,
+    mutate_variable,
+)
+
+chromosomes = st.builds(
+    lambda genes, pair_seeds: Chromosome(
+        tuple(genes),
+        frozenset(
+            (min(a, b), max(a, b))
+            for a, b in pair_seeds
+            if a != b and a < len(genes) and b < len(genes)
+        ),
+    ),
+    st.lists(st.integers(0, 4), min_size=4, max_size=10),
+    st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=6),
+)
+
+
+class TestChromosome:
+    def test_gene_range_validated(self):
+        with pytest.raises(ValueError):
+            Chromosome((0, 5), frozenset())
+
+    def test_interaction_range_validated(self):
+        with pytest.raises(ValueError):
+            Chromosome((1, 1), frozenset({(0, 7)}))
+
+    def test_self_interaction_rejected(self):
+        with pytest.raises(ValueError):
+            Chromosome((1, 1), frozenset({(1, 1)}))
+
+    def test_interactions_normalized(self):
+        c = Chromosome((1, 1, 1), frozenset({(2, 0)}))
+        assert c.interactions == frozenset({(0, 2)})
+
+    def test_to_spec_gene_values_match_paper(self):
+        """Gene 0 excludes; 1/2/3 are linear/quadratic/cubic; 4 is the
+        piecewise-cubic spline with three inflections (§3.4)."""
+        c = Chromosome((0, 1, 2, 3, 4), frozenset())
+        spec = c.to_spec(("a", "b", "c", "d", "e"))
+        assert spec.transforms["a"] == TransformKind.EXCLUDED
+        assert spec.transforms["b"] == TransformKind.LINEAR
+        assert spec.transforms["c"] == TransformKind.QUADRATIC
+        assert spec.transforms["d"] == TransformKind.CUBIC
+        assert spec.transforms["e"] == TransformKind.SPLINE
+
+    def test_to_spec_interactions_named(self):
+        c = Chromosome((1, 1, 1), frozenset({(0, 2)}))
+        spec = c.to_spec(("a", "b", "c"))
+        assert spec.interactions == frozenset({("a", "c")})
+
+    def test_to_spec_length_checked(self):
+        with pytest.raises(ValueError):
+            Chromosome((1, 1), frozenset()).to_spec(("a",))
+
+    def test_random_reproducible(self):
+        a = Chromosome.random(10, np.random.default_rng(3))
+        b = Chromosome.random(10, np.random.default_rng(3))
+        assert a == b
+
+    def test_random_needs_two_variables(self):
+        with pytest.raises(ValueError):
+            Chromosome.random(1, np.random.default_rng(0))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_always_valid(self, seed):
+        c = Chromosome.random(8, np.random.default_rng(seed))
+        assert all(0 <= g < N_GENE_VALUES for g in c.genes)
+        assert all(i < j for i, j in c.interactions)
+
+
+class TestOperators:
+    @given(chromosomes, chromosomes, st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_c1_preserves_length_and_validity(self, a, b, seed):
+        if a.n_variables != b.n_variables:
+            return
+        rng = np.random.default_rng(seed)
+        a2, b2 = crossover_variable(a, b, rng)
+        assert a2.n_variables == a.n_variables
+        # Exactly one position may differ in each child.
+        assert sum(x != y for x, y in zip(a.genes, a2.genes)) <= 1
+
+    @given(chromosomes, chromosomes, st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_c1_swaps_symmetrically(self, a, b, seed):
+        if a.n_variables != b.n_variables:
+            return
+        rng = np.random.default_rng(seed)
+        a2, b2 = crossover_variable(a, b, rng)
+        changed = [i for i, (x, y) in enumerate(zip(a.genes, a2.genes)) if x != y]
+        for i in changed:
+            assert a2.genes[i] == b.genes[i]
+            assert b2.genes[i] == a.genes[i]
+
+    @given(chromosomes, chromosomes, st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_c2_only_adds_existing_interactions(self, a, b, seed):
+        if a.n_variables != b.n_variables:
+            return
+        rng = np.random.default_rng(seed)
+        a2, b2 = crossover_interaction(a, b, rng)
+        assert a2.interactions <= a.interactions | b.interactions
+        assert b2.interactions <= a.interactions | b.interactions
+        assert a2.genes == a.genes  # C2 never touches variable genes
+
+    @given(chromosomes, chromosomes, st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_c3_creates_shared_interaction(self, a, b, seed):
+        if a.n_variables != b.n_variables:
+            return
+        rng = np.random.default_rng(seed)
+        a2, b2 = crossover_create_interaction(a, b, rng)
+        created_a = a2.interactions - a.interactions
+        created_b = b2.interactions - b.interactions
+        # The same new pair lands in both children (if it was new to them).
+        assert created_a <= b2.interactions
+        assert created_b <= a2.interactions
+        assert len(a2.interactions) >= len(a.interactions)
+
+    @given(chromosomes, st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_m1_changes_only_interactions(self, c, seed):
+        rng = np.random.default_rng(seed)
+        mutated = mutate_interaction(c, rng)
+        assert mutated.genes == c.genes
+        assert mutated.interactions != c.interactions or len(c.interactions) > 0
+
+    @given(chromosomes, st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_m2_changes_exactly_one_gene(self, c, seed):
+        rng = np.random.default_rng(seed)
+        mutated = mutate_variable(c, rng)
+        diffs = sum(x != y for x, y in zip(c.genes, mutated.genes))
+        assert diffs == 1
+        assert mutated.interactions == c.interactions

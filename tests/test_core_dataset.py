@@ -1,0 +1,127 @@
+"""Unit tests for profile datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProfileDataset, ProfileRecord
+
+
+def record(app="a", x=(1.0, 2.0), y=(3.0,), z=1.0):
+    return ProfileRecord(app, np.array(x), np.array(y), z)
+
+
+class TestProfileRecord:
+    def test_coerces_arrays(self):
+        r = ProfileRecord("a", [1, 2], [3], 1.0)
+        assert r.x.dtype == float
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ProfileRecord("a", [np.nan], [1], 1.0)
+        with pytest.raises(ValueError):
+            ProfileRecord("a", [1], [1], float("inf"))
+
+
+class TestProfileDataset:
+    def test_variable_names_combined(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        assert ds.variable_names == ("x1", "x2", "y1")
+
+    def test_overlapping_names_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileDataset(("a",), ("a",))
+
+    def test_add_validates_lengths(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        with pytest.raises(ValueError):
+            ds.add(record(x=(1.0,)))
+        with pytest.raises(ValueError):
+            ds.add(record(y=(1.0, 2.0)))
+
+    def test_matrix_layout(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        ds.add(record(x=(1, 2), y=(3,)))
+        assert ds.matrix().tolist() == [[1.0, 2.0, 3.0]]
+
+    def test_empty_matrix_shape(self):
+        ds = ProfileDataset(("x1",), ("y1",))
+        assert ds.matrix().shape == (0, 2)
+
+    def test_targets_and_labels(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        ds.add(record("a", z=1.5))
+        ds.add(record("b", z=2.5))
+        assert ds.targets().tolist() == [1.5, 2.5]
+        assert ds.labels().tolist() == ["a", "b"]
+
+    def test_applications_in_order(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        for app in ("c", "a", "c", "b"):
+            ds.add(record(app))
+        assert ds.applications == ("c", "a", "b")
+
+    def test_by_application(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        for app in ("a", "b", "a"):
+            ds.add(record(app))
+        groups = ds.by_application()
+        assert len(groups["a"]) == 2
+        assert len(groups["b"]) == 1
+
+    def test_without_application(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        for app in ("a", "b", "a"):
+            ds.add(record(app))
+        rest = ds.without_application("a")
+        assert rest.applications == ("b",)
+        assert len(rest) == 1
+
+    def test_only_application(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        for app in ("a", "b"):
+            ds.add(record(app))
+        assert len(ds.only_application("b")) == 1
+
+    def test_split_partitions(self, rng):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        for i in range(20):
+            ds.add(record("a", z=float(i + 1)))
+        train, val = ds.split(0.75, rng)
+        assert len(train) + len(val) == 20
+        assert len(train) == 15
+
+    def test_split_stratified_keeps_all_apps(self, rng):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        for app, n in (("a", 10), ("b", 4)):
+            for _ in range(n):
+                ds.add(record(app))
+        train, val = ds.split(0.5, rng)
+        assert set(train.applications) == {"a", "b"}
+        assert set(val.applications) == {"a", "b"}
+
+    def test_split_fraction_validated(self, rng):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        ds.add(record())
+        with pytest.raises(ValueError):
+            ds.split(0.0, rng)
+
+    def test_merge(self):
+        a = ProfileDataset(("x1", "x2"), ("y1",))
+        b = ProfileDataset(("x1", "x2"), ("y1",))
+        a.add(record("a"))
+        b.add(record("b"))
+        merged = ProfileDataset.merge([a, b])
+        assert len(merged) == 2
+
+    def test_merge_requires_same_variables(self):
+        a = ProfileDataset(("x1", "x2"), ("y1",))
+        b = ProfileDataset(("x1", "x2"), ("y2",))
+        with pytest.raises(ValueError):
+            ProfileDataset.merge([a, b])
+
+    def test_subset_preserves_order(self):
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        for i in range(5):
+            ds.add(record("a", z=float(i)))
+        sub = ds.subset([1, 3])
+        assert sub.targets().tolist() == [1.0, 3.0]

@@ -1,0 +1,149 @@
+"""Unit tests for the InferredModel facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InferredModel,
+    ModelSpec,
+    ProfileDataset,
+    ProfileRecord,
+    TransformKind,
+)
+from tests.conftest import make_synthetic_dataset
+
+
+def full_spec(ds, kind=TransformKind.LINEAR, interactions=()):
+    transforms = {name: kind for name in ds.variable_names}
+    return ModelSpec(transforms=transforms, interactions=frozenset(interactions))
+
+
+class TestFit:
+    def test_fits_and_predicts(self, synthetic_dataset):
+        spec = full_spec(synthetic_dataset, interactions=[("x1", "y1")])
+        model = InferredModel.fit(spec, synthetic_dataset)
+        predictions = model.predict(synthetic_dataset)
+        assert predictions.shape == (len(synthetic_dataset),)
+        assert np.isfinite(predictions).all()
+
+    def test_log_response_learns_multiplicative_target(self):
+        """The synthetic target is exp(linear/4): log response nails it."""
+        ds = make_synthetic_dataset(noise=0.001)
+        spec = full_spec(ds, interactions=[("x1", "y1")])
+        model = InferredModel.fit(spec, ds, response="log")
+        score = model.score(ds)
+        assert score["median_error"] < 0.01
+        assert score["correlation"] > 0.999
+
+    def test_identity_response(self, synthetic_dataset):
+        spec = full_spec(synthetic_dataset)
+        model = InferredModel.fit(spec, synthetic_dataset, response="identity")
+        assert np.isfinite(model.predict(synthetic_dataset)).all()
+
+    def test_invalid_response_rejected(self, synthetic_dataset):
+        with pytest.raises(ValueError):
+            InferredModel.fit(
+                full_spec(synthetic_dataset), synthetic_dataset, response="cube"
+            )
+
+    def test_log_requires_positive_targets(self):
+        ds = ProfileDataset(("x1",), ("y1",))
+        ds.add(ProfileRecord("a", [1.0], [1.0], -1.0))
+        ds.add(ProfileRecord("a", [2.0], [2.0], 1.0))
+        with pytest.raises(ValueError):
+            InferredModel.fit(
+                ModelSpec(transforms={"x1": TransformKind.LINEAR,
+                                      "y1": TransformKind.LINEAR}),
+                ds,
+            )
+
+    def test_intercept_only_model_allowed(self, synthetic_dataset):
+        spec = ModelSpec(
+            transforms={
+                name: TransformKind.EXCLUDED
+                for name in synthetic_dataset.variable_names
+            }
+        )
+        model = InferredModel.fit(spec, synthetic_dataset)
+        predictions = model.predict(synthetic_dataset)
+        # Intercept-only on a log scale: the geometric mean.
+        assert np.allclose(predictions, predictions[0])
+
+    def test_collinear_design_survives(self):
+        """Duplicated variables in the spec (same values) are pruned, not
+        fatal — the §3.1 requirement."""
+        ds = ProfileDataset(("x1", "x2"), ("y1",))
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            v = rng.normal()
+            ds.add(ProfileRecord("a", [v, v], [rng.normal()], float(np.exp(v / 3))))
+        spec = ModelSpec(
+            transforms={
+                "x1": TransformKind.LINEAR,
+                "x2": TransformKind.LINEAR,  # identical to x1
+                "y1": TransformKind.LINEAR,
+            }
+        )
+        model = InferredModel.fit(spec, ds)
+        assert model.n_terms < 3  # one of the twins was dropped
+        assert np.isfinite(model.predict(ds)).all()
+
+    def test_weighted_fit_biases_model(self):
+        ds = make_synthetic_dataset(apps=("a", "b"), n_per_app=30, seed=5)
+        spec = full_spec(ds)
+        weights = np.array(
+            [100.0 if r.application == "a" else 1.0 for r in ds.records]
+        )
+        model_a = InferredModel.fit(spec, ds, weights=weights)
+        only_a = ds.only_application("a")
+        plain = InferredModel.fit(spec, ds)
+        assert (
+            model_a.score(only_a)["median_error"]
+            <= plain.score(only_a)["median_error"] + 1e-9
+        )
+
+
+class TestPredict:
+    def test_predict_one(self, synthetic_dataset):
+        model = InferredModel.fit(full_spec(synthetic_dataset), synthetic_dataset)
+        r = synthetic_dataset.records[0]
+        batch = model.predict(synthetic_dataset)[0]
+        single = model.predict_one(r.x, r.y)
+        assert single == pytest.approx(batch)
+
+    def test_predict_one_validates_lengths(self, synthetic_dataset):
+        model = InferredModel.fit(full_spec(synthetic_dataset), synthetic_dataset)
+        with pytest.raises(ValueError):
+            model.predict_one(np.array([1.0]), np.array([1.0]))
+
+    def test_extreme_extrapolation_clipped(self, synthetic_dataset):
+        model = InferredModel.fit(full_spec(synthetic_dataset), synthetic_dataset)
+        value = model.predict_one(
+            np.array([1e9, -1e9]), np.array([1e9, 1e9])
+        )
+        assert np.isfinite(value)
+
+
+class TestIntrospection:
+    def test_transform_summary_buckets(self, synthetic_dataset):
+        spec = ModelSpec(
+            transforms={
+                "x1": TransformKind.LINEAR,
+                "x2": TransformKind.EXCLUDED,
+                "y1": TransformKind.SPLINE,
+                "y2": TransformKind.QUADRATIC,
+            }
+        )
+        model = InferredModel.fit(spec, synthetic_dataset)
+        summary = model.transform_summary()
+        assert "x2" in summary["un-used"]
+        assert "y1" in summary["spline, 3 knots"]
+        assert "y2" in summary["poly, degree 2"]
+
+    def test_coefficients_named(self, synthetic_dataset):
+        model = InferredModel.fit(full_spec(synthetic_dataset), synthetic_dataset)
+        assert set(model.coefficients) == {"x1", "x2", "y1", "y2"}
+
+    def test_repr(self, synthetic_dataset):
+        model = InferredModel.fit(full_spec(synthetic_dataset), synthetic_dataset)
+        assert "InferredModel" in repr(model)

@@ -1,0 +1,167 @@
+"""Unit tests for parameter significance and model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Chromosome,
+    InferredModel,
+    ModelSpec,
+    SignificanceReport,
+    TransformKind,
+    inclusion_frequency,
+    interaction_matrix,
+    load_model,
+    modal_transforms,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+    table3_rows,
+    transform_histogram,
+)
+from repro.core.significance import interaction_regions, top_interactions
+from tests.conftest import make_synthetic_dataset
+
+NAMES = ("x1", "x2", "y1", "y2")
+
+
+def pop():
+    return [
+        Chromosome((1, 0, 4, 2), frozenset({(0, 2)})),
+        Chromosome((1, 0, 4, 0), frozenset({(0, 2), (1, 3)})),
+        Chromosome((0, 0, 4, 2), frozenset({(0, 2)})),
+    ]
+
+
+class TestSignificance:
+    def test_inclusion_frequency(self):
+        freq = inclusion_frequency(pop(), NAMES)
+        assert freq["x1"] == pytest.approx(2 / 3)
+        assert freq["x2"] == 0.0
+        assert freq["y1"] == 1.0
+
+    def test_transform_histogram(self):
+        hist = transform_histogram(pop(), NAMES)
+        assert hist["y1"]["spline, 3 knots"] == 3
+        assert hist["x2"]["un-used"] == 3
+        assert hist["y2"]["poly, degree 2"] == 2
+
+    def test_modal_transforms(self):
+        modal = modal_transforms(pop(), NAMES)
+        assert modal["y1"] == "spline, 3 knots"
+        assert modal["x2"] == "un-used"
+        assert modal["x1"] == "linear"
+
+    def test_table3_rows_partition(self):
+        rows = table3_rows(pop(), NAMES)
+        all_vars = [v for vs in rows.values() for v in vs]
+        assert sorted(all_vars) == sorted(NAMES)
+
+    def test_interaction_matrix_symmetric(self):
+        counts = interaction_matrix(pop(), NAMES)
+        assert (counts == counts.T).all()
+        assert counts[0, 2] == 3
+        assert counts[1, 3] == 1
+
+    def test_interaction_regions(self):
+        counts = interaction_matrix(pop(), NAMES)
+        regions = interaction_regions(counts, n_software=2)
+        assert regions["sw-hw"] == 4  # (x1,y1)x3 + (x2,y2)x1
+        assert regions["sw-sw"] == 0
+        assert regions["hw-hw"] == 0
+
+    def test_top_interactions_sorted(self):
+        counts = interaction_matrix(pop(), NAMES)
+        top = top_interactions(counts, NAMES)
+        assert top[0] == ("x1", "y1", 3)
+
+    def test_report_bundles_everything(self):
+        report = SignificanceReport.from_population(pop(), NAMES, n_software=2)
+        assert report.n_models == 3
+        assert "spline" in report.describe()
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            inclusion_frequency([], NAMES)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            inclusion_frequency(pop(), ("a", "b"))
+
+
+class TestSerialization:
+    def _model(self, **fit_kwargs):
+        ds = make_synthetic_dataset()
+        spec = ModelSpec(
+            transforms={
+                "x1": TransformKind.SPLINE,
+                "x2": TransformKind.QUADRATIC,
+                "y1": TransformKind.LINEAR,
+                "y2": TransformKind.EXCLUDED,
+            },
+            interactions=frozenset({("x1", "y1")}),
+        )
+        return ds, InferredModel.fit(spec, ds, **fit_kwargs)
+
+    def test_roundtrip_predictions_identical(self):
+        ds, model = self._model()
+        clone = model_from_dict(model_to_dict(model))
+        assert np.allclose(clone.predict(ds), model.predict(ds))
+
+    def test_roundtrip_preserves_spec(self):
+        _, model = self._model()
+        clone = model_from_dict(model_to_dict(model))
+        assert clone.spec.transforms == model.spec.transforms
+        assert clone.spec.interactions == model.spec.interactions
+        assert clone.response == model.response
+
+    def test_roundtrip_identity_response(self):
+        ds, model = self._model(response="identity")
+        clone = model_from_dict(model_to_dict(model))
+        assert np.allclose(clone.predict(ds), model.predict(ds))
+
+    def test_json_file_roundtrip(self, tmp_path):
+        ds, model = self._model()
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        clone = load_model(path)
+        assert np.allclose(clone.predict(ds), model.predict(ds))
+        # It really is JSON.
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        _, model = self._model()
+        text = json.dumps(model_to_dict(model))
+        assert "coefficients" in text
+
+    def test_bad_format_rejected(self):
+        _, model = self._model()
+        payload = model_to_dict(model)
+        payload["format"] = 99
+        with pytest.raises(ValueError):
+            model_from_dict(payload)
+
+    def test_predict_one_works_after_load(self):
+        ds, model = self._model()
+        clone = model_from_dict(model_to_dict(model))
+        record = ds.records[0]
+        assert clone.predict_one(record.x, record.y) == pytest.approx(
+            model.predict_one(record.x, record.y)
+        )
+
+
+class TestSerializationOfGAModels:
+    def test_ga_best_model_roundtrips(self):
+        """The deployment loop end to end: search -> fit -> ship -> load."""
+        from repro.core import GeneticSearch
+
+        ds = make_synthetic_dataset(seed=7)
+        result = GeneticSearch(population_size=6, seed=3).run(ds, generations=2)
+        model = result.best_model(ds)
+        clone = model_from_dict(model_to_dict(model))
+        assert np.allclose(clone.predict(ds), model.predict(ds))

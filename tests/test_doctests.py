@@ -1,0 +1,14 @@
+"""Run the doctests embedded in module documentation."""
+
+import doctest
+
+import pytest
+
+import repro.spmv.bcsr
+
+
+@pytest.mark.parametrize("module", [repro.spmv.bcsr])
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0
+    assert result.failed == 0

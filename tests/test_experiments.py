@@ -1,0 +1,231 @@
+"""Tests for the experiment infrastructure (scales, caching, drivers, CLI)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import (
+    SCALES,
+    GeneralStudy,
+    Scale,
+    build_general_dataset,
+    cache_dir,
+    cached,
+    current_scale,
+    empty_general_dataset,
+)
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestScales:
+    def test_three_scales(self):
+        assert set(SCALES) == {"small", "bench", "full"}
+
+    def test_full_matches_paper_counts(self):
+        full = SCALES["full"]
+        assert full.configs_per_app == 360     # §4.3
+        assert full.population == 50           # Figure 4's "50 best models"
+        assert full.generations == 20          # Figure 5
+        assert full.validation_pairs == 140    # §4.3
+        assert full.spmv_train == 400          # §5.3
+        assert full.spmv_val == 100
+
+    def test_default_scale_is_bench(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "bench"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert current_scale().name == "small"
+
+    def test_explicit_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert current_scale("full").name == "full"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            current_scale("huge")
+
+
+class TestCache:
+    def test_build_called_once(self, tmp_cache):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"value": 42}
+
+        a = cached("test-key", build)
+        b = cached("test-key", build)
+        assert a == b == {"value": 42}
+        assert len(calls) == 1
+
+    def test_different_keys_different_artifacts(self, tmp_cache):
+        assert cached("key-a", lambda: 1) == 1
+        assert cached("key-b", lambda: 2) == 2
+
+    def test_refresh_rebuilds(self, tmp_cache):
+        cached("key-r", lambda: 1)
+        assert cached("key-r", lambda: 2, refresh=True) == 2
+
+    def test_cache_dir_env(self, tmp_cache):
+        assert str(cache_dir()) == str(tmp_cache)
+
+
+class TestGeneralStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        scale = Scale("test", 4, 3, 6, 1, 6, 10, 5, 4)
+        return GeneralStudy(scale, seed=5)
+
+    def test_applications(self, study):
+        assert len(study.applications()) == 7
+
+    def test_shards_cached(self, study):
+        a = study.shards("astar")
+        b = study.shards("astar")
+        assert a is b
+        assert len(a) == 3
+
+    def test_profiles_align_with_shards(self, study):
+        profiles = study.profiles("astar")
+        assert len(profiles) == len(study.shards("astar"))
+        assert profiles[0].application == "astar"
+
+    def test_record_construction(self, study):
+        from repro.uarch import sample_configs
+
+        rng = np.random.default_rng(0)
+        config = sample_configs(1, rng)[0]
+        record = study.record("astar", 0, config)
+        assert record.z > 0
+        assert len(record.x) == 13
+        assert len(record.y) == 13
+
+    def test_sample_records_one_per_config(self, study):
+        from repro.uarch import sample_configs
+
+        rng = np.random.default_rng(0)
+        configs = sample_configs(3, rng)
+        records = study.sample_records("bzip2", configs, rng)
+        assert len(records) == 3
+
+
+class TestBuildDataset:
+    def test_shapes_and_caching(self, tmp_cache):
+        scale = Scale("test", 3, 2, 6, 1, 7, 10, 5, 4)
+        train, val = build_general_dataset(scale, seed=3)
+        assert len(train) == 7 * 3
+        assert len(val) == 7 * 1  # validation_pairs // n_apps = 1 each
+        # Second call hits the cache and returns identical data.
+        train2, _ = build_general_dataset(scale, seed=3)
+        assert np.array_equal(train.targets(), train2.targets())
+
+    def test_empty_dataset_variables(self):
+        ds = empty_general_dataset()
+        assert len(ds.x_names) == 13
+        assert len(ds.y_names) == 13
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "fig16" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig99"]) == 2
+
+    def test_run_one(self, tmp_cache, capsys, monkeypatch):
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert main(["fig03", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_experiment_registry_complete(self):
+        from repro.experiments.__main__ import EXPERIMENTS
+
+        # Every paper artifact with data has a CLI entry (13 paper
+        # artifacts + the ablation suite + the memory extension).
+        assert len(EXPERIMENTS) == 16
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "datacenter_scheduling.py",
+            "spmv_autotuning.py",
+            "model_update.py",
+        ],
+    )
+    def test_compiles(self, script):
+        import pathlib
+        import py_compile
+
+        path = pathlib.Path(__file__).resolve().parents[1] / "examples" / script
+        assert path.exists()
+        py_compile.compile(str(path), doraise=True)
+
+
+class TestDriverSmoke:
+    """End-to-end smoke runs of representative experiment drivers at a
+    miniature scale (heavier drivers are exercised by benchmarks/)."""
+
+    @pytest.fixture()
+    def tiny(self):
+        return Scale("tiny", 6, 3, 6, 2, 7, 40, 12, 6)
+
+    def test_fig12_13_shapes(self, tmp_cache, tiny):
+        from repro.experiments import fig12_13_trends
+
+        result = fig12_13_trends.run(tiny, seed=99)
+        assert set(result.by_brow) == set(range(1, 9))
+        assert set(result.by_bcol) == set(range(1, 9))
+        assert all(np.isfinite(v) for v in result.by_line.values())
+        report = fig12_13_trends.report(result)
+        assert "Figure 12" in report and "Figure 13" in report
+
+    def test_fig15_grids(self, tmp_cache, tiny):
+        from repro.experiments import fig15_topology
+
+        result = fig15_topology.run(tiny, seed=99)
+        assert result.profiled.shape == (8, 8)
+        assert result.predicted.shape == (8, 8)
+        assert -1.0 <= result.correlation <= 1.0
+        assert "profiled" in fig15_topology.report(result)
+
+    def test_fig03_report(self, tmp_cache, tiny):
+        from repro.experiments import fig03_variance
+
+        result = fig03_variance.run(tiny, seed=99)
+        assert len(result.sums) == 7 * tiny.shards_per_app
+        assert "histogram" in fig03_variance.report(result)
+
+
+class TestExampleFiveCompiles:
+    def test_adaptive_reconfiguration_compiles(self):
+        import pathlib
+        import py_compile
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[1]
+            / "examples"
+            / "adaptive_reconfiguration.py"
+        )
+        assert path.exists()
+        py_compile.compile(str(path), doraise=True)

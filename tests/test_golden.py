@@ -1,0 +1,59 @@
+"""Golden-value regression tests.
+
+These pin concrete end-to-end numbers produced by the current model
+constants and seeded generators.  They are *stability* tests: a failure
+does not mean the new value is wrong, it means behaviour changed — check
+whether the change was intended, re-derive the constants, and bump the
+cache version strings in ``repro.experiments`` (cached artifacts embed
+simulated values).
+"""
+
+import numpy as np
+import pytest
+
+from repro.profiling import profile_shard
+from repro.spmv import SparseMatrix, default_cache, run_spmv, to_bcsr
+from repro.uarch import Simulator, reference_config
+from repro.workloads import application_spec, generate_trace
+
+
+@pytest.fixture(scope="module")
+def astar_shard():
+    trace = generate_trace(
+        application_spec("astar"), 10_000, seed=42, shard_length=10_000
+    )
+    return trace.shards(10_000)[0]
+
+
+class TestGeneralStudyGolden:
+    def test_reference_cpi(self, astar_shard):
+        cpi = Simulator().cpi(astar_shard, reference_config())
+        assert cpi == pytest.approx(0.9287689360241879, rel=1e-9)
+
+    def test_instruction_mix_counts(self, astar_shard):
+        x = profile_shard(astar_shard)
+        # x1..x7 are integer counts; exact.
+        assert x[:7].tolist() == [1405.0, 730.0, 430.0, 96.0, 103.0, 3801.0, 4165.0]
+
+    def test_locality_and_ilp_characteristics(self, astar_shard):
+        x = profile_shard(astar_shard)
+        assert x[7] == pytest.approx(222.15543, abs=1e-4)   # x8 data re-use
+        assert x[8] == pytest.approx(5.500501, abs=1e-5)    # x9 inst re-use
+        assert x[12] == pytest.approx(7.117438, abs=1e-5)   # x13 basic block
+
+
+class TestSpMVGolden:
+    def test_figure11_matrix_on_default_cache(self):
+        dense = np.array(
+            [
+                [1, 2, 0, 0, 0, 0],
+                [3, 4, 0, 0, 5, 6],
+                [0, 0, 7, 0, 8, 9],
+                [0, 0, 0, 10, 11, 12],
+            ],
+            dtype=float,
+        )
+        result = run_spmv(to_bcsr(SparseMatrix.from_dense(dense), 2, 2), default_cache())
+        assert result.cycles == pytest.approx(1276.0)
+        assert result.mflops == pytest.approx(7.523510971786834, rel=1e-9)
+        assert result.nj_per_flop == pytest.approx(15.93373766765758, rel=1e-9)

@@ -1,0 +1,127 @@
+"""Unit tests for the instruction-set substrate."""
+
+import numpy as np
+import pytest
+
+from repro.isa import FU_LATENCY, OpClass, Trace, TRACE_DTYPE, empty_trace, opclass_names
+from repro.isa.instructions import FU_ISSUE_INTERVAL, N_OPCLASSES
+
+
+class TestOpClass:
+    def test_six_classes_match_table1_mix(self):
+        assert N_OPCLASSES == 6
+
+    def test_values_are_dense_from_zero(self):
+        assert sorted(int(c) for c in OpClass) == list(range(6))
+
+    def test_names_ordered_by_value(self):
+        names = opclass_names()
+        assert names[0] == "CONTROL"
+        assert names[5] == "MEMORY"
+        assert len(names) == 6
+
+    def test_latency_table_covers_all_classes(self):
+        assert len(FU_LATENCY) == N_OPCLASSES
+        assert (FU_LATENCY >= 1.0).all()
+
+    def test_issue_interval_table_covers_all_classes(self):
+        assert len(FU_ISSUE_INTERVAL) == N_OPCLASSES
+        assert (FU_ISSUE_INTERVAL >= 1.0).all()
+
+    def test_muldiv_slower_than_alu(self):
+        assert FU_LATENCY[OpClass.FP_MULDIV] > FU_LATENCY[OpClass.FP_ALU]
+        assert FU_LATENCY[OpClass.INT_MULDIV] > FU_LATENCY[OpClass.INT_ALU]
+
+
+class TestEmptyTrace:
+    def test_length(self):
+        assert len(empty_trace(10)) == 10
+
+    def test_zeroed(self):
+        data = empty_trace(4)
+        assert data["op"].sum() == 0
+        assert data["addr"].sum() == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            empty_trace(-1)
+
+    def test_dtype(self):
+        assert empty_trace(1).dtype == TRACE_DTYPE
+
+
+class TestTrace:
+    def _trace(self, n=10):
+        data = empty_trace(n)
+        data["op"] = np.arange(n) % 6
+        data["addr"][data["op"] == int(OpClass.MEMORY)] = 64
+        return Trace(data, "t")
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            Trace(np.zeros(4, dtype=np.int64))
+
+    def test_len_and_repr(self):
+        t = self._trace(12)
+        assert len(t) == 12
+        assert "12 instructions" in repr(t)
+
+    def test_opclass_counts_sum_to_length(self):
+        t = self._trace(13)
+        assert t.opclass_counts().sum() == 13
+
+    def test_opclass_counts_has_all_classes(self):
+        assert len(self._trace().opclass_counts()) == 6
+
+    def test_memory_mask(self):
+        t = self._trace(12)
+        assert t.memory_mask().sum() == 2  # ops 5 and 11
+
+    def test_control_mask(self):
+        t = self._trace(12)
+        assert t.control_mask().sum() == 2  # ops 0 and 6
+
+    def test_slice_view(self):
+        t = self._trace(10)
+        s = t.slice(2, 6)
+        assert len(s) == 4
+        assert (s.op == t.op[2:6]).all()
+
+    def test_slice_bounds_checked(self):
+        t = self._trace(10)
+        with pytest.raises(IndexError):
+            t.slice(5, 11)
+        with pytest.raises(IndexError):
+            t.slice(-1, 5)
+
+    def test_shards_equal_length(self):
+        t = self._trace(10)
+        shards = t.shards(3)
+        assert [len(s) for s in shards] == [3, 3, 3]  # remainder dropped
+
+    def test_shards_cover_prefix(self):
+        t = self._trace(9)
+        shards = t.shards(3)
+        joined = np.concatenate([s.op for s in shards])
+        assert (joined == t.op[:9]).all()
+
+    def test_shards_named(self):
+        t = self._trace(6)
+        assert t.shards(3)[1].name == "t/shard001"
+
+    def test_shard_length_validated(self):
+        with pytest.raises(ValueError):
+            self._trace().shards(0)
+
+    def test_iter_shards_matches_shards(self):
+        t = self._trace(10)
+        assert [s.name for s in t.iter_shards(2)] == [s.name for s in t.shards(2)]
+
+    def test_concatenate(self):
+        a, b = self._trace(4), self._trace(6)
+        joined = Trace.concatenate([a, b], "j")
+        assert len(joined) == 10
+        assert joined.name == "j"
+
+    def test_concatenate_empty(self):
+        assert len(Trace.concatenate([])) == 0

@@ -1,0 +1,294 @@
+"""Unit and property tests for the microarchitecture-independent profiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import OpClass, Trace, empty_trace
+from repro.profiling import (
+    N_CHARACTERISTICS,
+    SOFTWARE_VARIABLE_NAMES,
+    mean_reuse_distance,
+    profile_application,
+    profile_shard,
+    reuse_distances,
+    reuse_distance_sums,
+    stack_distances,
+)
+from repro.profiling.shards import ShardProfile
+
+
+def naive_reuse_distances(addresses, positions, block_bytes):
+    """Reference implementation: dict of last positions."""
+    last = {}
+    out = []
+    for addr, pos in zip(addresses, positions):
+        block = addr // block_bytes
+        if block in last:
+            out.append(pos - last[block])
+        last[block] = pos
+    return sorted(out)
+
+
+def naive_stack_distances(addresses, block_bytes=64):
+    blocks = [a // block_bytes for a in addresses]
+    out = []
+    last = {}
+    for i, b in enumerate(blocks):
+        if b in last:
+            out.append(len(set(blocks[last[b] + 1 : i])))
+        else:
+            out.append(None)
+        last[b] = i
+    return out
+
+
+class TestReuseDistances:
+    def test_empty(self):
+        assert len(reuse_distances(np.array([]), np.array([]))) == 0
+
+    def test_single_access_no_reuse(self):
+        assert len(reuse_distances(np.array([0]), np.array([0]))) == 0
+
+    def test_simple_pair(self):
+        # Same 64B block touched at instructions 0 and 10.
+        d = reuse_distances(np.array([8, 16]), np.array([0, 10]))
+        assert d.tolist() == [10]
+
+    def test_block_granularity(self):
+        # Different 64B blocks: no reuse at 64B, reuse at 256B.
+        addrs = np.array([0, 128])
+        pos = np.array([0, 4])
+        assert len(reuse_distances(addrs, pos, 64)) == 0
+        assert reuse_distances(addrs, pos, 256).tolist() == [4]
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            reuse_distances(np.array([0]), np.array([0]), 48)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            reuse_distances(np.array([0, 1]), np.array([0]))
+
+    def test_mean_default_when_no_reuse(self):
+        assert mean_reuse_distance(np.array([0, 64]), np.array([0, 1]), 64, 99.0) == 99.0
+
+    def test_sums(self):
+        addrs = np.array([8, 16, 8])
+        pos = np.array([0, 5, 9])
+        # distances: 5 (block 0 reused at 5), 4 (reused again at 9)
+        assert reuse_distance_sums(addrs, pos, 64) == 9.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2000), st.integers(0, 50)),
+            min_size=0,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive(self, items):
+        addrs = np.array([a for a, _ in items], dtype=np.int64)
+        gaps = np.array([g for _, g in items], dtype=np.int64)
+        positions = np.cumsum(gaps)
+        got = sorted(reuse_distances(addrs, positions, 64).tolist())
+        expected = naive_reuse_distances(addrs.tolist(), positions.tolist(), 64)
+        assert got == expected
+
+
+class TestStackDistances:
+    def test_empty(self):
+        d, cold = stack_distances(np.array([]))
+        assert len(d) == 0 and cold == 0
+
+    def test_all_cold(self):
+        d, cold = stack_distances(np.array([0, 64, 128]))
+        assert cold == 3
+        assert (d >= 2**61).all()
+
+    def test_immediate_reuse_distance_zero(self):
+        d, cold = stack_distances(np.array([0, 8]))
+        assert cold == 1
+        assert d[1] == 0
+
+    def test_classic_sequence(self):
+        # a b c a : stack distance of the second a is 2 (b, c in between).
+        d, _ = stack_distances(np.array([0, 64, 128, 0]))
+        assert d[3] == 2
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive(self, blocks):
+        addrs = np.array(blocks, dtype=np.int64) * 64
+        got, cold = stack_distances(addrs)
+        expected = naive_stack_distances(addrs.tolist())
+        assert cold == sum(1 for e in expected if e is None)
+        for g, e in zip(got, expected):
+            if e is None:
+                assert g >= 2**61
+            else:
+                assert g == e
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_lru_hit_counting_consistent(self, blocks):
+        """Hits at capacity C = accesses with stack distance < C; the total
+        over all capacities is monotone in C (bigger LRU cache never misses
+        more — the inclusion property)."""
+        addrs = np.array(blocks, dtype=np.int64) * 64
+        d, _ = stack_distances(addrs)
+        misses = [int((d >= c).sum()) for c in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+class TestProfileShard:
+    def _shard(self, n=600):
+        data = empty_trace(n)
+        rng = np.random.default_rng(0)
+        data["op"] = rng.integers(0, 6, size=n)
+        control = data["op"] == int(OpClass.CONTROL)
+        data["taken"][control] = True
+        mem = data["op"] == int(OpClass.MEMORY)
+        data["addr"][mem] = rng.integers(0, 50, size=int(mem.sum())) * 64
+        data["iaddr"] = np.arange(n) * 4
+        data["dep"] = rng.integers(0, 5, size=n)
+        return Trace(data, "s")
+
+    def test_vector_length(self):
+        x = profile_shard(self._shard())
+        assert len(x) == N_CHARACTERISTICS == 13
+        assert len(SOFTWARE_VARIABLE_NAMES) == 13
+
+    def test_mix_counts_sum(self):
+        shard = self._shard()
+        x = profile_shard(shard)
+        # x1 + x3..x7 cover all six classes.
+        assert x[0] + x[2] + x[3] + x[4] + x[5] + x[6] == len(shard)
+
+    def test_taken_branches_bounded_by_control(self):
+        x = profile_shard(self._shard())
+        assert x[1] <= x[0]
+
+    def test_basic_block_size(self):
+        shard = self._shard()
+        x = profile_shard(shard)
+        assert x[12] == pytest.approx(len(shard) / max(x[0], 1))
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(ValueError):
+            profile_shard(Trace(empty_trace(0)))
+
+    def test_all_finite(self):
+        assert np.isfinite(profile_shard(self._shard())).all()
+
+    def test_producer_consumer_zero_when_class_absent(self):
+        data = empty_trace(100)
+        data["op"] = int(OpClass.INT_ALU)  # no FP at all
+        data["dep"] = 1
+        x = profile_shard(Trace(data))
+        assert x[9] == 0.0 and x[10] == 0.0 and x[11] == 0.0
+
+    def test_producer_consumer_measures_distance(self):
+        data = empty_trace(100)
+        data["op"] = int(OpClass.INT_ALU)
+        data["op"][::10] = int(OpClass.FP_ALU)
+        data["dep"] = 0
+        # Every instruction right after an FP_ALU depends on it at distance 1.
+        data["dep"][1::10] = 1
+        x = profile_shard(Trace(data))
+        assert x[9] == pytest.approx(1.0)
+
+    def test_microarchitecture_independence(self, astar_trace):
+        """The same shard yields the same profile regardless of any
+        hardware parameter — there is simply no hardware input."""
+        shard = astar_trace.shards(2_000)[0]
+        assert (profile_shard(shard) == profile_shard(shard)).all()
+
+
+class TestProfileApplication:
+    def test_one_profile_per_shard(self, astar_trace):
+        profiles = profile_application(astar_trace, 2_000)
+        assert len(profiles) == 10
+
+    def test_profile_keys(self, astar_trace):
+        profiles = profile_application(astar_trace, 2_000, application="astar")
+        assert profiles[3].key == "astar/shard003"
+
+    def test_shard_profiles_differ(self, astar_trace):
+        """Sharding preserves intra-application diversity (§2.1): not all
+        shards look alike."""
+        profiles = profile_application(astar_trace, 2_000)
+        xs = np.array([p.x for p in profiles])
+        assert (xs.std(axis=0) > 0).any()
+
+    def test_profile_record_coerces_array(self):
+        p = ShardProfile("a", 0, [1, 2, 3])
+        assert p.x.dtype == float
+
+
+class TestExtendedCharacteristics:
+    def _shard(self, addrs, n=200):
+        from repro.isa import OpClass, Trace, empty_trace
+
+        data = empty_trace(n)
+        data["op"][: len(addrs)] = int(OpClass.MEMORY)
+        data["addr"][: len(addrs)] = addrs
+        data["iaddr"] = (np.arange(n) * 4) % 256
+        return Trace(data, "x")
+
+    def test_vector_has_seventeen_entries(self, astar_trace):
+        from repro.profiling import (
+            EXTENDED_VARIABLE_NAMES,
+            profile_shard,
+            profile_shard_extended,
+        )
+
+        shard = astar_trace.shards(2_000)[0]
+        x = profile_shard_extended(shard)
+        assert len(x) == len(EXTENDED_VARIABLE_NAMES) == 17
+        # The first thirteen entries are exactly the Table 1 vector.
+        assert (x[:13] == profile_shard(shard)).all()
+
+    def test_footprint_counts_distinct_blocks(self):
+        from repro.profiling import profile_shard_extended
+
+        shard = self._shard(np.array([0, 8, 64, 128, 128]))
+        x = profile_shard_extended(shard)
+        assert x[13] == 3.0  # blocks 0, 1, 2
+
+    def test_streaming_fraction(self):
+        from repro.profiling import profile_shard_extended
+
+        # Strictly unit-stride accesses.
+        shard = self._shard(np.arange(0, 400, 8, dtype=np.int64))
+        x = profile_shard_extended(shard)
+        assert x[15] == pytest.approx(1.0)
+
+    def test_code_footprint(self):
+        from repro.profiling import profile_shard_extended
+
+        shard = self._shard(np.array([0]))
+        # iaddr spans 256 bytes = 4 blocks of 64B.
+        assert profile_shard_extended(shard)[16] == 4.0
+
+    def test_burstiness_zero_without_far_accesses(self):
+        from repro.profiling import profile_shard_extended
+
+        shard = self._shard(np.array([0, 8, 16]))
+        assert profile_shard_extended(shard)[14] == 0.0
+
+    def test_no_memory_ops(self):
+        from repro.profiling import profile_shard_extended
+
+        shard = self._shard(np.array([], dtype=np.int64))
+        x = profile_shard_extended(shard)
+        assert x[13] == 0.0 and x[14] == 0.0 and x[15] == 0.0
+
+    def test_microarchitecture_independent(self, astar_trace):
+        from repro.profiling import profile_shard_extended
+
+        shard = astar_trace.shards(2_000)[1]
+        a = profile_shard_extended(shard)
+        b = profile_shard_extended(shard)
+        assert (a == b).all()

@@ -1,0 +1,125 @@
+"""Unit and property tests for BCSR blocking (the paper's Figure 11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmv import BCSRMatrix, SparseMatrix, fill_ratio, to_bcsr
+
+FIGURE11 = np.array(
+    [
+        [1, 2, 0, 0, 0, 0],
+        [3, 4, 0, 0, 5, 6],
+        [0, 0, 7, 0, 8, 9],
+        [0, 0, 0, 10, 11, 12],
+    ],
+    dtype=float,
+)
+
+
+sparse_matrices = st.builds(
+    lambda n, m, entries: _build(n, m, entries),
+    st.integers(1, 12),
+    st.integers(1, 12),
+    st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11), st.floats(0.5, 9.0)),
+        max_size=40,
+    ),
+)
+
+
+def _build(n, m, entries):
+    rows = [r % n for r, _, _ in entries]
+    cols = [c % m for _, c, _ in entries]
+    vals = [v for *_, v in entries]
+    return SparseMatrix(n, m, np.array(rows, dtype=np.int64),
+                        np.array(cols, dtype=np.int64), np.array(vals))
+
+
+class TestFigure11:
+    """The paper's worked BCSR example, exactly."""
+
+    def test_row_start(self):
+        b = to_bcsr(SparseMatrix.from_dense(FIGURE11), 2, 2)
+        assert b.b_row_start.tolist() == [0, 2, 4]
+
+    def test_col_idx(self):
+        b = to_bcsr(SparseMatrix.from_dense(FIGURE11), 2, 2)
+        assert b.b_col_idx.tolist() == [0, 4, 2, 4]
+
+    def test_values_with_explicit_zeros(self):
+        b = to_bcsr(SparseMatrix.from_dense(FIGURE11), 2, 2)
+        expected = [1, 2, 3, 4, 0, 0, 5, 6, 7, 0, 0, 10, 8, 9, 11, 12]
+        assert b.b_value.tolist() == [float(v) for v in expected]
+
+    def test_four_filled_zeros(self):
+        b = to_bcsr(SparseMatrix.from_dense(FIGURE11), 2, 2)
+        assert b.stored_values - b.original_nnz == 4
+        assert b.fill_ratio == pytest.approx(16 / 12)
+
+
+class TestToBcsr:
+    def test_block_size_validated(self):
+        m = SparseMatrix.from_dense(FIGURE11)
+        with pytest.raises(ValueError):
+            to_bcsr(m, 0, 2)
+        with pytest.raises(ValueError):
+            to_bcsr(m, 2, 9)
+
+    def test_1x1_is_csr(self):
+        m = SparseMatrix.from_dense(FIGURE11)
+        b = to_bcsr(m, 1, 1)
+        assert b.fill_ratio == 1.0
+        assert b.n_blocks == m.nnz
+
+    def test_non_divisible_dimensions_padded(self):
+        m = SparseMatrix.from_dense(np.array([[1.0, 2.0, 3.0]]))
+        b = to_bcsr(m, 2, 2)
+        assert b.n_block_rows == 1
+        assert np.allclose(b.matvec(np.ones(3)), m.matvec(np.ones(3)))
+
+    def test_fill_ratio_function_matches_materialized(self):
+        m = SparseMatrix.from_dense(FIGURE11)
+        for r, c in [(1, 1), (2, 2), (3, 2), (4, 4)]:
+            assert fill_ratio(m, r, c) == pytest.approx(to_bcsr(m, r, c).fill_ratio)
+
+    @given(sparse_matrices, st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_matrix(self, matrix, r, c):
+        b = to_bcsr(matrix, r, c)
+        assert np.allclose(b.to_csr().to_dense(), matrix.to_dense())
+
+    @given(sparse_matrices, st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_equals_csr(self, matrix, r, c):
+        rng = np.random.default_rng(7)
+        u = rng.normal(size=matrix.n_cols)
+        b = to_bcsr(matrix, r, c)
+        assert np.allclose(b.matvec(u), matrix.matvec(u), atol=1e-9)
+
+    @given(sparse_matrices, st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_fill_ratio_at_least_one(self, matrix, r, c):
+        if matrix.nnz == 0:
+            return
+        assert fill_ratio(matrix, r, c) >= 1.0 - 1e-12
+
+    @given(sparse_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_fill_grows_with_block_area_on_average(self, matrix):
+        if matrix.nnz == 0:
+            return
+        small = fill_ratio(matrix, 1, 1)
+        large = fill_ratio(matrix, 8, 8)
+        assert large >= small - 1e-12
+
+    def test_matvec_validates_length(self):
+        b = to_bcsr(SparseMatrix.from_dense(FIGURE11), 2, 2)
+        with pytest.raises(ValueError):
+            b.matvec(np.ones(5))
+
+    def test_stored_blocks_counted(self):
+        b = to_bcsr(SparseMatrix.from_dense(FIGURE11), 2, 2)
+        assert b.n_blocks == 4
+        assert b.stored_values == 16

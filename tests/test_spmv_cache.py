@@ -1,0 +1,145 @@
+"""Unit and property tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmv import CacheConfig, SetAssociativeCache, default_cache
+from repro.spmv.cache import sample_cache_configs, SPMV_HARDWARE_NAMES
+
+address_streams = st.lists(st.integers(0, 200), min_size=1, max_size=300).map(
+    lambda blocks: [b * 16 for b in blocks]
+)
+
+
+class TestCacheConfig:
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            CacheConfig(48, 16, 2, "LRU", 8, 2, "LRU")
+        with pytest.raises(ValueError):
+            CacheConfig(32, 16, 2, "FIFO", 8, 2, "LRU")
+        with pytest.raises(ValueError):
+            CacheConfig(32, 3, 2, "LRU", 8, 2, "LRU")
+
+    def test_vector_encoding(self):
+        config = CacheConfig(32, 16, 2, "NMRU", 8, 2, "RND")
+        vec = config.as_vector()
+        assert len(vec) == len(SPMV_HARDWARE_NAMES) == 7
+        assert vec[3] == 1.0  # NMRU index
+        assert vec[6] == 2.0  # RND index
+
+    def test_key_unique(self, rng):
+        configs = sample_cache_configs(40, rng)
+        assert len({c.key for c in configs}) == 40
+
+    def test_default_is_valid(self):
+        assert default_cache().line_bytes in (16, 32, 64, 128)
+
+
+class TestSetAssociativeCache:
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 32, 2)  # not a multiple
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 32, 2)
+
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, 32, 2)
+        assert cache.access(0) is False
+        assert cache.access(8) is True  # same line
+
+    def test_capacity_eviction_lru(self):
+        # 2 sets x 1 way, 32B lines: lines 0 and 2 map to set 0.
+        cache = SetAssociativeCache(64, 32, 1)
+        assert cache.access(0) is False
+        assert cache.access(64) is False   # evicts line 0 (same set)
+        assert cache.access(0) is False    # miss again
+
+    def test_lru_order(self):
+        # 1 set x 2 ways.
+        cache = SetAssociativeCache(64, 32, 2, "LRU")
+        for addr in (0, 32):          # lines a, b: cache = [b, a]
+            cache.access(addr)
+        cache.access(0)               # touch a: cache = [a, b]
+        cache.access(64)              # insert c: evicts b
+        assert cache.access(0) is True
+        assert cache.access(32) is False
+
+    def test_simulate_counts_match_access(self):
+        addrs = [0, 32, 0, 64, 96, 0]
+        a = SetAssociativeCache(64, 32, 2, "LRU")
+        misses_loop = sum(0 if a.access(x) else 1 for x in addrs)
+        b = SetAssociativeCache(64, 32, 2, "LRU")
+        assert b.simulate(addrs) == misses_loop
+
+    def test_reset(self):
+        cache = SetAssociativeCache(1024, 32, 2)
+        cache.access(0)
+        cache.reset()
+        assert cache.access(0) is False
+
+    @given(address_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_misses_bounded(self, addrs):
+        cache = SetAssociativeCache(512, 16, 2, "LRU")
+        misses = cache.simulate(addrs)
+        distinct_lines = len({a // 16 for a in addrs})
+        assert distinct_lines <= misses <= len(addrs) or misses <= len(addrs)
+        assert misses >= 0
+
+    @given(address_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_lru_inclusion_property(self, addrs):
+        """More ways at the same set count never increase LRU misses."""
+        small = SetAssociativeCache(16 * 8 * 2, 16, 2, "LRU")   # 8 sets, 2 ways
+        large = SetAssociativeCache(16 * 8 * 4, 16, 4, "LRU")   # 8 sets, 4 ways
+        assert large.simulate(addrs) <= small.simulate(addrs)
+
+    @given(address_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_fully_associative_lru_matches_stack_distance(self, addrs):
+        """Cross-validation between the two cache models in the repo: the
+        simulator's fully associative LRU misses equal the stack-distance
+        count from the profiling package."""
+        from repro.profiling import stack_distances
+
+        capacity_lines = 8
+        cache = SetAssociativeCache(16 * capacity_lines, 16, capacity_lines, "LRU")
+        misses = cache.simulate(addrs)
+        distances, _ = stack_distances(np.array(addrs, dtype=np.int64), 16)
+        expected = int((distances >= capacity_lines).sum())
+        assert misses == expected
+
+    @given(address_streams, st.sampled_from(["NMRU", "RND"]))
+    @settings(max_examples=40, deadline=None)
+    def test_randomized_policies_valid(self, addrs, policy):
+        cache = SetAssociativeCache(256, 16, 4, policy, seed=1)
+        misses = cache.simulate(addrs)
+        distinct = len({a // 16 for a in addrs})
+        assert distinct <= misses + 1 or misses <= len(addrs)
+        assert 0 <= misses <= len(addrs)
+
+    def test_policies_deterministic_by_seed(self):
+        addrs = list(range(0, 4096, 16)) * 3
+        a = SetAssociativeCache(256, 16, 4, "RND", seed=9).simulate(addrs)
+        b = SetAssociativeCache(256, 16, 4, "RND", seed=9).simulate(addrs)
+        assert a == b
+
+    def test_nmru_protects_mru(self):
+        """NMRU never evicts the most recently used line."""
+        cache = SetAssociativeCache(64, 32, 2, "NMRU", seed=0)
+        cache.access(0)     # line a
+        cache.access(64)    # line b (same set), MRU = b
+        cache.access(128)   # insert c: must evict a (the non-MRU)
+        assert cache.access(64) is True
+
+    def test_streaming_misses_scale_with_line_size(self):
+        """The Figure 13 effect: for a streaming access pattern, larger
+        lines mean fewer misses."""
+        addrs = list(range(0, 8192, 8))  # unit-stride doubles
+        misses = {
+            line: SetAssociativeCache(4096, line, 2, "LRU").simulate(addrs)
+            for line in (16, 32, 64, 128)
+        }
+        assert misses[16] > misses[32] > misses[64] > misses[128]

@@ -1,0 +1,179 @@
+"""Unit tests for the SpMV kernel trace, timing, and energy models."""
+
+import numpy as np
+import pytest
+
+from repro.spmv import (
+    CacheConfig,
+    SparseMatrix,
+    default_cache,
+    kernel_trace,
+    miss_penalty_cycles,
+    run_spmv,
+    to_bcsr,
+)
+from repro.spmv.kernel import (
+    COL_IDX_BASE,
+    DEST_BASE,
+    ROW_START_BASE,
+    SOURCE_BASE,
+    VALUE_BASE,
+)
+from repro.spmv.machine import cache_access_nj
+
+DENSE = np.array(
+    [
+        [1, 2, 0, 0],
+        [3, 4, 0, 0],
+        [0, 0, 5, 6],
+        [0, 0, 7, 8],
+    ],
+    dtype=float,
+)
+
+
+def small_bcsr(r=2, c=2):
+    return to_bcsr(SparseMatrix.from_dense(DENSE), r, c)
+
+
+class TestKernelTrace:
+    def test_access_count(self):
+        b = small_bcsr()
+        trace = kernel_trace(b)
+        # 2 blocks x (1 colidx + 4 values + 2 source) + 2 rows x (1 ptr + 4 dest)
+        assert len(trace.addresses) == 2 * 7 + 2 * 5
+
+    def test_flops(self):
+        b = small_bcsr()
+        trace = kernel_trace(b)
+        assert trace.true_flops == 2 * 8
+        assert trace.total_flops == 2 * 8  # no fill on this matrix
+
+    def test_fill_increases_total_flops_only(self):
+        dense = np.eye(4)
+        b = to_bcsr(SparseMatrix.from_dense(dense), 2, 2)
+        trace = kernel_trace(b)
+        assert trace.true_flops == 8
+        assert trace.total_flops == 16
+
+    def test_regions_disjoint(self):
+        trace = kernel_trace(small_bcsr())
+        addrs = trace.addresses
+        regions = [ROW_START_BASE, COL_IDX_BASE, VALUE_BASE, SOURCE_BASE, DEST_BASE]
+        for addr in addrs:
+            assert any(base <= addr < base + (1 << 30) for base in regions)
+
+    def test_values_streamed_sequentially(self):
+        trace = kernel_trace(small_bcsr())
+        values = [a for a in trace.addresses if VALUE_BASE <= a < SOURCE_BASE]
+        assert values == sorted(values)
+        assert np.all(np.diff(values) == 8)
+
+    def test_source_reuse_per_block(self):
+        b = small_bcsr(2, 2)
+        trace = kernel_trace(b)
+        source = [a for a in trace.addresses if SOURCE_BASE <= a < DEST_BASE]
+        assert len(source) == b.n_blocks * b.c
+
+    def test_instruction_count_scales_with_blocks(self):
+        a = kernel_trace(small_bcsr(1, 1))
+        b = kernel_trace(small_bcsr(2, 2))
+        # Same stored values, fewer blocks: less overhead.
+        assert b.n_instructions < a.n_instructions
+
+    def test_code_footprint_grows_with_block_area(self):
+        assert kernel_trace(small_bcsr(2, 2)).code_bytes < kernel_trace(
+            small_bcsr(4, 4)
+        ).code_bytes
+
+
+class TestTiming:
+    def test_result_fields_consistent(self):
+        result = run_spmv(small_bcsr(), default_cache())
+        assert result.cycles > 0
+        assert result.time_seconds == pytest.approx(result.cycles / 400e6)
+        assert result.mflops > 0
+        assert result.nj_per_flop > 0
+
+    def test_miss_penalty_grows_with_line(self):
+        assert miss_penalty_cycles(128) > miss_penalty_cycles(16)
+
+    def test_fewer_misses_is_faster(self):
+        b = small_bcsr()
+        small = CacheConfig(16, 4, 1, "LRU", 2, 1, "LRU")
+        large = CacheConfig(64, 256, 8, "LRU", 128, 8, "LRU")
+        assert run_spmv(b, large).mflops >= run_spmv(b, small).mflops
+
+    def test_deterministic(self):
+        b = small_bcsr()
+        config = default_cache()
+        assert run_spmv(b, config).cycles == run_spmv(b, config).cycles
+
+    def test_performance_excludes_filled_zeros(self):
+        """The paper's footnote 4: Mflop/s counts only true flops."""
+        dense = np.eye(8)
+        unblocked = to_bcsr(SparseMatrix.from_dense(dense), 1, 1)
+        blocked = to_bcsr(SparseMatrix.from_dense(dense), 8, 8)  # fill 8x
+        config = default_cache()
+        r1 = run_spmv(unblocked, config)
+        r8 = run_spmv(blocked, config)
+        assert kernel_trace(blocked).true_flops == kernel_trace(unblocked).true_flops
+        # The heavy fill makes the blocked version *slower* per true flop.
+        assert r8.mflops < r1.mflops
+
+
+class TestEnergy:
+    def test_cache_energy_grows_with_size_and_ways(self):
+        assert cache_access_nj(256, 2, 32) > cache_access_nj(16, 2, 32)
+        assert cache_access_nj(16, 8, 32) > cache_access_nj(16, 1, 32)
+
+    def test_bigger_cache_costs_energy(self):
+        b = small_bcsr()
+        small = CacheConfig(32, 16, 8, "LRU", 8, 2, "LRU")
+        large = CacheConfig(32, 256, 8, "LRU", 8, 2, "LRU")
+        r_small = run_spmv(b, small)
+        r_large = run_spmv(b, large)
+        # Same associativity and line size, tiny working set: both suffer
+        # only compulsory misses, so the energy gap is pure per-access cost.
+        assert r_small.data_misses == r_large.data_misses
+        assert r_large.nj_per_flop > r_small.nj_per_flop
+
+    def test_memory_energy_scales_with_line(self):
+        """Larger lines transfer more words per miss at 6 nJ per word —
+        the Figure 16(b) architecture-tuning energy cost."""
+        from repro.spmv import table4_matrix
+
+        b = to_bcsr(table4_matrix("memplus", seed=0), 1, 1)
+        short = CacheConfig(16, 8, 2, "LRU", 8, 2, "LRU")
+        long_ = CacheConfig(128, 8, 2, "LRU", 8, 2, "LRU")
+        r_short = run_spmv(b, short)
+        r_long = run_spmv(b, long_)
+        # memplus scatters: long lines over-fetch and burn energy.
+        assert r_long.nj_per_flop > r_short.nj_per_flop
+
+
+class TestEnergyBreakdown:
+    def test_components_sum_to_total(self):
+        result = run_spmv(small_bcsr(), default_cache())
+        bd = result.energy_breakdown
+        assert bd.total == pytest.approx(result.energy_nj)
+        for component in (bd.core, bd.dcache, bd.icache, bd.memory, bd.leakage):
+            assert component >= 0.0
+
+    def test_memory_dominates_for_scattered_matrix(self):
+        """The Figure 16(b) narrative: SpMV energy is transfer-dominated,
+        which is why blocking (fewer transfers) saves energy."""
+        from repro.spmv import table4_matrix
+
+        b = to_bcsr(table4_matrix("memplus", seed=0), 1, 1)
+        bd = run_spmv(b, default_cache()).energy_breakdown
+        assert bd.memory > bd.dcache
+        assert bd.memory > bd.core
+
+    def test_blocking_reduces_memory_energy(self):
+        from repro.spmv import table4_matrix
+
+        m = table4_matrix("olafu", seed=0)
+        unblocked = run_spmv(to_bcsr(m, 1, 1), default_cache()).energy_breakdown
+        blocked = run_spmv(to_bcsr(m, 6, 6), default_cache()).energy_breakdown
+        assert blocked.memory < unblocked.memory

@@ -1,0 +1,143 @@
+"""Unit tests for sparse matrices and the Table 4 suite."""
+
+import numpy as np
+import pytest
+
+from repro.spmv import (
+    MATRIX_NAMES,
+    SparseMatrix,
+    TABLE4,
+    fem_matrix,
+    scattered_matrix,
+    table4_matrix,
+    table4_suite,
+)
+
+
+class TestSparseMatrix:
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        m = SparseMatrix.from_dense(dense)
+        assert np.array_equal(m.to_dense(), dense)
+        assert m.nnz == 2
+
+    def test_duplicates_coalesced(self):
+        m = SparseMatrix(2, 2, [0, 0], [1, 1], [1.0, 2.0])
+        assert m.nnz == 1
+        assert m.to_dense()[0, 1] == 3.0
+
+    def test_sparsity(self):
+        m = SparseMatrix(10, 10, [0], [0], [1.0])
+        assert m.sparsity == 0.01
+
+    def test_row_access(self):
+        m = SparseMatrix(2, 3, [0, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+        cols, vals = m.row(0)
+        assert cols.tolist() == [0, 2]
+        assert vals.tolist() == [1.0, 2.0]
+
+    def test_matvec_matches_dense(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(6, 5)) * (rng.random((6, 5)) < 0.4)
+        m = SparseMatrix.from_dense(dense)
+        u = rng.normal(size=5)
+        assert np.allclose(m.matvec(u), dense @ u)
+
+    def test_matvec_validates_length(self):
+        m = SparseMatrix(2, 3, [0], [0], [1.0])
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(2))
+
+    def test_index_bounds_validated(self):
+        with pytest.raises(ValueError):
+            SparseMatrix(2, 2, [2], [0], [1.0])
+        with pytest.raises(ValueError):
+            SparseMatrix(2, 2, [0], [-1], [1.0])
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError):
+            SparseMatrix(0, 2, [], [], [])
+
+
+class TestGenerators:
+    def test_fem_has_dense_blocks(self):
+        m = fem_matrix(20, 3, 4, 6, seed=0)
+        dense = m.to_dense()
+        # The diagonal node blocks are fully dense 3x3 tiles.
+        for node in range(5):
+            tile = dense[node * 3 : node * 3 + 3, node * 3 : node * 3 + 3]
+            assert (tile != 0).all()
+
+    def test_fem_deterministic(self):
+        a = fem_matrix(10, 3, 4, 6, seed=5)
+        b = fem_matrix(10, 3, 4, 6, seed=5)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_fem_alignment(self):
+        m = fem_matrix(10, 8, 3, 4, seed=1, block_alignment=8)
+        assert m.n_rows == 80
+
+    def test_scattered_has_diagonal(self):
+        m = scattered_matrix(30, 100, seed=0)
+        dense = m.to_dense()
+        assert (np.diag(dense) != 0).all()
+
+    def test_scattered_nnz_close_to_target(self):
+        m = scattered_matrix(100, 600, seed=0)
+        # Collisions shrink the count slightly; never exceed.
+        assert 400 <= m.nnz <= 600
+
+
+class TestTable4:
+    def test_eleven_matrices(self):
+        assert len(TABLE4) == 11
+        assert len(MATRIX_NAMES) == 11
+
+    def test_paper_metadata_matches_table(self):
+        by_name = {info.name: info for info in TABLE4}
+        assert by_name["pwtk"].paper_nnz == 5926171
+        assert by_name["raefsky3"].paper_sparsity == pytest.approx(3.31e-3)
+        assert by_name["memplus"].paper_dimension == 17758
+
+    def test_suite_generates_all(self):
+        suite = table4_suite(seed=0)
+        assert set(suite) == set(MATRIX_NAMES)
+        for matrix in suite.values():
+            assert matrix.nnz > 0
+            assert matrix.n_rows == matrix.n_cols
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            table4_matrix("nonexistent")
+
+    def test_info_generate_matches_function(self):
+        info = TABLE4[0]
+        a = info.generate(seed=0)
+        b = table4_matrix(info.name, seed=0)
+        assert a.nnz == b.nnz
+
+    def test_fem_matrices_blockable_without_fill(self):
+        """FEM stand-ins have their natural block size: blocking at it adds
+        (almost) no fill."""
+        from repro.spmv import fill_ratio
+
+        m = table4_matrix("nasasrb", seed=0)
+        assert fill_ratio(m, 6, 6) < 1.05
+        m = table4_matrix("3dtube", seed=0)
+        assert fill_ratio(m, 3, 3) < 1.05
+
+    def test_scattered_matrices_fill_heavily(self):
+        from repro.spmv import fill_ratio
+
+        m = table4_matrix("memplus", seed=0)
+        assert fill_ratio(m, 4, 4) > 3.0
+
+    def test_raefsky3_multiples_of_four(self):
+        """Figure 12's observation: block columns 1, 4, 8 equally effective
+        because fill stays at 1.0 on 4-aligned substructure."""
+        from repro.spmv import fill_ratio
+
+        m = table4_matrix("raefsky3", seed=0)
+        assert fill_ratio(m, 8, 4) == pytest.approx(1.0, abs=0.02)
+        assert fill_ratio(m, 8, 8) == pytest.approx(1.0, abs=0.02)
+        assert fill_ratio(m, 8, 6) > 1.2

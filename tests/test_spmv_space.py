@@ -1,0 +1,138 @@
+"""Unit tests for the SpMV space, domain models, and tuning searches."""
+
+import numpy as np
+import pytest
+
+from repro.core import median_error
+from repro.spmv import (
+    BLOCK_SIZES,
+    SPMV_HARDWARE_NAMES,
+    SPMV_SOFTWARE_NAMES,
+    SpMVSpace,
+    TuningSearch,
+    default_cache,
+    fit_spmv_model,
+    predicted_topology,
+    sample_cache_configs,
+    spmv_model_spec,
+    table4_matrix,
+    tuning_cache_candidates,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SpMVSpace(table4_matrix("olafu", seed=0))
+
+
+class TestSpMVSpace:
+    def test_bcsr_memoized(self, space):
+        assert space.bcsr(2, 2) is space.bcsr(2, 2)
+
+    def test_evaluate_memoized(self, space):
+        config = default_cache()
+        a = space.evaluate(1, 1, config)
+        b = space.evaluate(1, 1, config)
+        assert a is b
+
+    def test_software_vector(self, space):
+        vec = space.software_vector(3, 4)
+        assert vec[0] == 3 and vec[1] == 4
+        assert vec[2] == pytest.approx(space.fill_ratio(3, 4))
+
+    def test_record_targets(self, space):
+        config = default_cache()
+        perf = space.record(2, 2, config, "mflops")
+        power = space.record(2, 2, config, "nj_per_flop")
+        assert perf.z != power.z
+        assert perf.application == "olafu"
+
+    def test_sample_dataset(self, space):
+        rng = np.random.default_rng(0)
+        ds = space.sample_dataset(20, rng)
+        assert len(ds) == 20
+        assert ds.x_names == SPMV_SOFTWARE_NAMES
+        assert ds.y_names == SPMV_HARDWARE_NAMES
+
+    def test_topology_shape(self, space):
+        grid = space.topology(default_cache())
+        assert grid.shape == (8, 8)
+        assert (grid > 0).all()
+
+
+class TestDomainModel:
+    def test_spec_is_compact(self):
+        spec = spmv_model_spec()
+        # Domain knowledge keeps the model small (§5's point).
+        assert len(spec.included_variables) <= 8
+        assert len(spec.interactions) <= 10
+
+    def test_model_accuracy_on_holdout(self, space):
+        rng = np.random.default_rng(1)
+        train = space.sample_dataset(120, rng)
+        val = space.sample_dataset(40, rng)
+        model = fit_spmv_model(train)
+        error = median_error(model.predict(val), val.targets())
+        assert error < 0.15  # paper: 4-6% at full sample counts
+
+    def test_predicted_topology_shape(self, space):
+        rng = np.random.default_rng(1)
+        model = fit_spmv_model(space.sample_dataset(100, rng))
+        grid = predicted_topology(model, space, default_cache())
+        assert grid.shape == (8, 8)
+        assert np.isfinite(grid).all()
+
+
+class TestTuning:
+    @pytest.fixture(scope="class")
+    def search(self, space):
+        rng = np.random.default_rng(2)
+        model = fit_spmv_model(space.sample_dataset(120, rng))
+        return TuningSearch(space, model, verify_top=3)
+
+    def test_baseline_is_unblocked_default(self, search):
+        base = search.baseline()
+        assert (base.r, base.c) == (1, 1)
+        assert base.speedup == pytest.approx(1.0)
+
+    def test_application_tuning_beats_baseline(self, search):
+        result = search.application_tuning()
+        assert result.mflops >= result.baseline_mflops
+        assert result.cache == search.baseline_cache
+
+    def test_application_tuning_finds_natural_block(self, search):
+        result = search.application_tuning()
+        # olafu is built from 6x6 tiles: good blockings divide 6.
+        assert result.r in (2, 3, 6) and result.c in (1, 2, 3, 6)
+
+    def test_architecture_tuning_keeps_code_unblocked(self, search, rng):
+        caches = tuning_cache_candidates(8, rng)
+        result = search.architecture_tuning(caches)
+        assert (result.r, result.c) == (1, 1)
+        assert result.speedup >= 1.0
+
+    def test_coordinated_dominates(self, search, rng):
+        caches = tuning_cache_candidates(8, rng)
+        app = search.application_tuning()
+        arch = search.architecture_tuning(caches)
+        coord = search.coordinated_tuning(caches)
+        assert coord.mflops >= app.mflops - 1e-9
+        assert coord.mflops >= arch.mflops - 1e-9
+
+    def test_model_free_search_is_exhaustive_oracle(self, space, rng):
+        oracle = TuningSearch(space, model=None)
+        guided = oracle.application_tuning()
+        # With no model, _choose evaluates everything: the result is the
+        # true best block size on the baseline cache.
+        best = max(
+            (space.evaluate(r, c, oracle.baseline_cache).mflops, (r, c))
+            for r in BLOCK_SIZES
+            for c in BLOCK_SIZES
+        )
+        assert (guided.r, guided.c) == best[1]
+
+    def test_energy_ratio(self, search):
+        result = search.application_tuning()
+        assert result.energy_ratio == pytest.approx(
+            result.nj_per_flop / result.baseline_nj_per_flop
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for the Table 2 design space."""
+
+import numpy as np
+import pytest
+
+from repro.uarch import (
+    HARDWARE_VARIABLE_NAMES,
+    PipelineConfig,
+    config_from_levels,
+    design_space_size,
+    reference_config,
+    sample_configs,
+)
+from repro.uarch.config import (
+    DCACHE_KB_LEVELS,
+    IQ_LEVELS,
+    L1_ASSOC_LEVELS,
+    L2_ASSOC_LEVELS,
+    LSQ_LEVELS,
+    REGS_LEVELS,
+    ROB_LEVELS,
+    WIDTH_LEVELS,
+    _LEVEL_COUNTS,
+)
+
+
+class TestLevels:
+    def test_width_doubles(self):
+        assert WIDTH_LEVELS == (1, 2, 4, 8)
+
+    def test_window_resources_ganged_in_six_steps(self):
+        assert len(LSQ_LEVELS) == len(REGS_LEVELS) == len(IQ_LEVELS) == len(ROB_LEVELS) == 6
+
+    def test_window_resource_ranges_match_table2(self):
+        assert LSQ_LEVELS[0] == 11 and LSQ_LEVELS[-1] <= 38
+        assert REGS_LEVELS[0] == 86 and REGS_LEVELS[-1] <= 300
+        assert IQ_LEVELS[0] == 22 and IQ_LEVELS[-1] <= 72
+        assert ROB_LEVELS[0] == 64 and ROB_LEVELS[-1] <= 224
+
+    def test_l2_assoc_ganged_to_l1(self):
+        assert len(L2_ASSOC_LEVELS) == len(L1_ASSOC_LEVELS)
+
+    def test_thirteen_parameters(self):
+        assert len(_LEVEL_COUNTS) == 13
+        assert len(HARDWARE_VARIABLE_NAMES) == 13
+
+
+class TestConfigFromLevels:
+    def test_roundtrip_levels(self):
+        levels = (1, 2, 3, 4, 0, 1, 2, 3, 0, 1, 2, 0, 3)
+        config = config_from_levels(levels)
+        assert config.levels == levels
+
+    def test_values_mapped(self):
+        config = config_from_levels((0,) * 13)
+        assert config.width == 1
+        assert config.rob == 64
+        assert config.lsq == 11
+        assert config.dcache_kb == 16
+        assert config.l2_kb == 256
+
+    def test_extreme_design(self):
+        maxed = tuple(c - 1 for c in _LEVEL_COUNTS)
+        config = config_from_levels(maxed)
+        assert config.width == 8
+        assert config.rob == 224
+        assert config.l2_kb == 4096
+
+    def test_window_resources_move_together(self):
+        small = config_from_levels((0,) * 13)
+        big = config_from_levels((0, 5) + (0,) * 11)
+        assert big.lsq > small.lsq
+        assert big.registers > small.registers
+        assert big.iq > small.iq
+        assert big.rob > small.rob
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_levels((0,) * 12)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_levels((9,) + (0,) * 12)
+
+    def test_as_vector_order(self):
+        config = reference_config()
+        vec = config.as_vector()
+        assert len(vec) == 13
+        assert vec[0] == config.width
+        assert vec[1] == config.rob
+        assert vec[4] == config.dcache_kb
+
+    def test_key_stable(self):
+        a = config_from_levels((1,) * 13)
+        b = config_from_levels((1,) * 13)
+        assert a.key == b.key
+
+
+class TestSampling:
+    def test_design_space_size(self):
+        assert design_space_size() == int(np.prod(_LEVEL_COUNTS))
+        assert design_space_size() > 10**6
+
+    def test_sample_distinct(self, rng):
+        configs = sample_configs(50, rng)
+        assert len({c.key for c in configs}) == 50
+
+    def test_sample_reproducible(self):
+        a = sample_configs(10, np.random.default_rng(5))
+        b = sample_configs(10, np.random.default_rng(5))
+        assert [c.key for c in a] == [c.key for c in b]
+
+    def test_sample_positive(self, rng):
+        with pytest.raises(ValueError):
+            sample_configs(0, rng)
+
+    def test_samples_cover_extremes_eventually(self, rng):
+        configs = sample_configs(300, rng)
+        widths = {c.width for c in configs}
+        assert widths == set(WIDTH_LEVELS)

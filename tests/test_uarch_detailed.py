@@ -1,0 +1,99 @@
+"""Cross-validation of the interval timing model against the cycle-level
+out-of-order simulator.
+
+The interval model is the reproduction's Gem5 stand-in; these tests check
+that it is a faithful *approximation* of an explicit structural simulation:
+same ordering of architectures, same directionally correct responses to
+resources, and CPIs within a modest band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import pearson_correlation, spearman_correlation
+from repro.uarch import Simulator, config_from_levels
+from repro.uarch.detailed import DetailedSimulator, detailed_cpi
+from repro.workloads import application_spec, generate_trace
+
+SHARD = 1_500
+
+
+@pytest.fixture(scope="module")
+def shard():
+    trace = generate_trace(
+        application_spec("bzip2"), SHARD, seed=6, shard_length=SHARD
+    )
+    return trace.shards(SHARD)[0]
+
+
+# A small but diverse slice of the design space.
+CONFIG_LEVELS = [
+    (0, 0, 1, 1, 0, 0, 0, 4, 0, 0, 0, 0, 0),   # minimal machine
+    (1, 2, 2, 2, 1, 1, 1, 2, 1, 0, 1, 0, 1),   # modest
+    (2, 3, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1),   # reference-like
+    (3, 5, 3, 4, 3, 3, 4, 0, 3, 1, 2, 1, 3),   # maximal machine
+    (0, 5, 0, 0, 3, 3, 4, 0, 3, 1, 2, 1, 3),   # narrow but resource-rich
+    (3, 0, 3, 4, 0, 0, 0, 4, 0, 0, 0, 0, 0),   # wide but starved
+]
+
+
+class TestDetailedSimulator:
+    def test_commits_all_instructions(self, shard):
+        config = config_from_levels(CONFIG_LEVELS[2])
+        result = DetailedSimulator(config).run(shard)
+        assert result.instructions == len(shard)
+        assert result.cycles > 0
+
+    def test_cpi_at_least_width_bound(self, shard):
+        for levels in CONFIG_LEVELS[:3]:
+            config = config_from_levels(levels)
+            result = DetailedSimulator(config).run(shard)
+            assert result.cpi >= 1.0 / config.width - 1e-9
+
+    def test_wider_machine_not_slower(self, shard):
+        narrow = detailed_cpi(shard, config_from_levels(CONFIG_LEVELS[0]))
+        wide = detailed_cpi(shard, config_from_levels(CONFIG_LEVELS[3]))
+        assert wide <= narrow
+
+    def test_larger_caches_do_not_hurt(self, shard):
+        small = config_from_levels((1, 2, 2, 2, 0, 0, 0, 2, 1, 0, 1, 0, 1))
+        large = config_from_levels((1, 2, 2, 2, 3, 3, 4, 2, 1, 0, 1, 0, 1))
+        assert detailed_cpi(shard, large) <= detailed_cpi(shard, small) * 1.02
+
+    def test_deterministic(self, shard):
+        config = config_from_levels(CONFIG_LEVELS[1])
+        assert detailed_cpi(shard, config) == detailed_cpi(shard, config)
+
+    def test_miss_counters_consistent(self, shard):
+        config = config_from_levels(CONFIG_LEVELS[1])
+        sim = DetailedSimulator(config)
+        result = sim.run(shard)
+        assert 0 <= result.l2_misses <= result.l1d_misses + result.l1i_misses
+
+
+class TestIntervalModelValidation:
+    """The headline cross-check: interval vs. cycle-level CPIs."""
+
+    @pytest.fixture(scope="class")
+    def cpis(self, shard):
+        interval = Simulator()
+        pairs = []
+        for levels in CONFIG_LEVELS:
+            config = config_from_levels(levels)
+            pairs.append(
+                (interval.cpi(shard, config), detailed_cpi(shard, config))
+            )
+        return np.array(pairs)
+
+    def test_rank_agreement(self, cpis):
+        rho = spearman_correlation(cpis[:, 0], cpis[:, 1])
+        assert rho > 0.75
+
+    def test_linear_agreement(self, cpis):
+        assert pearson_correlation(cpis[:, 0], cpis[:, 1]) > 0.8
+
+    def test_magnitudes_in_band(self, cpis):
+        """The interval model tracks the structural simulator within a
+        modest multiplicative band across the design-space extremes."""
+        ratios = cpis[:, 0] / cpis[:, 1]
+        assert (ratios > 0.35).all() and (ratios < 3.0).all()

@@ -1,0 +1,164 @@
+"""Tests for the dependency-free SVG chart library and figure builders."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    boxplot_rows,
+    document,
+    grouped_bars,
+    heatmap,
+    histogram,
+    line_chart,
+    render,
+    BUILDERS,
+)
+from repro.viz.svg import Frame, _fmt, _ticks
+
+
+def well_formed(svg_text: str) -> xml.dom.minidom.Document:
+    return xml.dom.minidom.parseString(svg_text)
+
+
+class TestFrame:
+    def test_degenerate_ranges_widened(self):
+        frame = Frame(1.0, 1.0, 2.0, 2.0)
+        assert frame.x_max > frame.x_min
+        assert frame.y_max > frame.y_min
+
+    def test_x_mapping_monotone(self):
+        frame = Frame(0, 10, 0, 10)
+        assert frame.x(0) < frame.x(5) < frame.x(10)
+
+    def test_y_mapping_inverted(self):
+        """Larger data y maps to smaller pixel y (SVG grows downward)."""
+        frame = Frame(0, 10, 0, 10)
+        assert frame.y(10) < frame.y(0)
+
+    def test_plot_area_within_viewport(self):
+        frame = Frame(0, 1, 0, 1)
+        assert 0 < frame.x(0) < frame.x(1) < frame.width
+        assert 0 < frame.y(1) < frame.y(0) < frame.height
+
+
+class TestHelpers:
+    def test_ticks_cover_range(self):
+        ticks = _ticks(0, 100)
+        assert min(ticks) >= 0
+        assert max(ticks) <= 100
+        assert len(ticks) >= 2
+
+    def test_ticks_degenerate(self):
+        assert _ticks(5, 5)
+
+    def test_fmt_compact(self):
+        assert _fmt(0) == "0"
+        assert "e" in _fmt(123456.0)
+        assert _fmt(0.5) == "0.50"
+
+
+class TestCharts:
+    def test_line_chart_well_formed(self):
+        svg = line_chart(
+            {"a": ([1, 2, 3], [1.0, 0.5, 0.2]), "b": ([1, 2, 3], [0.9, 0.8, 0.7])},
+            "title", "x", "y",
+        )
+        doc = well_formed(svg)
+        assert doc.documentElement.tagName == "svg"
+        assert svg.count("<polyline") == 2
+
+    def test_line_chart_needs_series(self):
+        with pytest.raises(ValueError):
+            line_chart({}, "t", "x", "y")
+
+    def test_histogram_bar_count(self):
+        svg = histogram([3, 5, 2], [0, 1, 2, 3], "t", "x")
+        well_formed(svg)
+        assert svg.count("<rect") == 3 + 1  # bars + background
+
+    def test_histogram_validates_edges(self):
+        with pytest.raises(ValueError):
+            histogram([1, 2], [0, 1], "t", "x")
+
+    def test_boxplot_rows(self):
+        svg = boxplot_rows(
+            {"alpha": (0.0, 0.1, 0.2, 0.3, 0.5), "beta": (0.0, 0.2, 0.4, 0.6, 1.0)},
+            "t", "error",
+        )
+        well_formed(svg)
+        assert "alpha" in svg and "beta" in svg
+
+    def test_boxplot_needs_rows(self):
+        with pytest.raises(ValueError):
+            boxplot_rows({}, "t", "x")
+
+    def test_heatmap_cells(self):
+        svg = heatmap([[1, 2], [3, 4]], ["r1", "r2"], ["c1", "c2"], "t")
+        well_formed(svg)
+        assert svg.count("fill=\"rgb(") == 4
+
+    def test_heatmap_constant_grid(self):
+        svg = heatmap([[5, 5], [5, 5]], ["a", "b"], ["c", "d"], "t")
+        well_formed(svg)
+
+    def test_grouped_bars(self):
+        svg = grouped_bars(
+            {"g1": {"s1": 1.0, "s2": 2.0}, "g2": {"s1": 1.5}},
+            "t", "value",
+        )
+        well_formed(svg)
+        assert "s1" in svg and "s2" in svg
+
+    def test_grouped_bars_needs_groups(self):
+        with pytest.raises(ValueError):
+            grouped_bars({}, "t", "y")
+
+    def test_document_escapes_text(self):
+        svg = line_chart({"<evil>": ([0, 1], [0, 1])}, "a & b", "x", "y")
+        well_formed(svg)
+        assert "<evil>" not in svg.replace("&lt;evil&gt;", "")
+
+
+class TestRender:
+    def test_builders_cover_graphical_experiments(self):
+        assert set(BUILDERS) == {
+            "fig03", "fig04", "fig05", "fig07-08", "fig10",
+            "fig12-13", "fig14", "fig15", "fig16",
+        }
+
+    def test_render_unknown_experiment_is_noop(self, tmp_path):
+        assert render("table3", object(), tmp_path) == []
+
+    def test_render_fig05(self, tmp_path):
+        from repro.experiments.fig05_convergence import Fig5Result
+
+        result = Fig5Result(
+            generations=[1, 2, 3],
+            sum_errors=[0.9, 0.7, 0.6],
+            best_fitness=[0.13, 0.10, 0.086],
+            final_sum_error=0.6,
+        )
+        written = render("fig05", result, tmp_path)
+        assert len(written) == 1
+        well_formed(written[0].read_text())
+
+    def test_render_fig15(self, tmp_path):
+        from repro.experiments.fig15_topology import Fig15Result
+
+        rng = np.random.default_rng(0)
+        grid = rng.uniform(10, 50, size=(8, 8))
+        result = Fig15Result(
+            profiled=grid,
+            predicted=grid * 1.1,
+            correlation=0.99,
+            true_best=(6, 6),
+            predicted_best=(6, 6),
+            top_set_overlap=4,
+            discontinuity_captured=True,
+        )
+        written = render("fig15", result, tmp_path)
+        assert len(written) == 2
+        for path in written:
+            well_formed(path.read_text())

@@ -1,0 +1,243 @@
+"""Unit tests for the synthetic workload substrate."""
+
+import numpy as np
+import pytest
+
+from repro.isa import OpClass
+from repro.workloads import (
+    BehaviorSpec,
+    PhaseSpec,
+    SPEC_APP_NAMES,
+    application_spec,
+    generate_trace,
+    input_variant,
+    optimization_variant,
+    spec2006_suite,
+)
+from repro.workloads.behaviors import MIX_KEYS
+
+
+def simple_phase(**overrides):
+    params = dict(
+        mix={"control": 0.1, "int_alu": 0.5, "memory": 0.4},
+        taken_rate=0.5,
+    )
+    params.update(overrides)
+    return PhaseSpec(**params)
+
+
+class TestPhaseSpec:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            PhaseSpec(mix={"control": 0.5, "int_alu": 0.4})
+
+    def test_unknown_mix_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix keys"):
+            PhaseSpec(mix={"control": 0.5, "vector": 0.5})
+
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError):
+            simple_phase(taken_rate=1.5)
+        with pytest.raises(ValueError):
+            simple_phase(mispredict_rate=-0.1)
+
+    def test_dep_mean_bounded(self):
+        with pytest.raises(ValueError):
+            simple_phase(dep_mean=0.5)
+
+    def test_recurrence_interval_non_negative(self):
+        with pytest.raises(ValueError):
+            simple_phase(recurrence_interval=-1)
+
+    def test_mix_vector_ordered_and_normalized(self):
+        phase = simple_phase()
+        vec = phase.mix_vector()
+        assert len(vec) == len(MIX_KEYS)
+        assert vec.sum() == pytest.approx(1.0)
+        assert vec[int(OpClass.INT_ALU)] == pytest.approx(0.5)
+
+    def test_perturbed_is_valid_and_different(self):
+        rng = np.random.default_rng(0)
+        base = simple_phase()
+        jittered = base.perturbed(rng, 0.2)
+        assert jittered.mix != base.mix
+        assert sum(jittered.mix.values()) == pytest.approx(1.0)
+        assert 0 <= jittered.taken_rate <= 1
+
+    def test_perturbed_zero_scale_near_identity(self):
+        rng = np.random.default_rng(0)
+        base = simple_phase()
+        jittered = base.perturbed(rng, 1e-9)
+        assert jittered.taken_rate == pytest.approx(base.taken_rate, rel=1e-6)
+
+
+class TestBehaviorSpec:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            BehaviorSpec("empty", [])
+
+    def test_weights_positive(self):
+        with pytest.raises(ValueError):
+            BehaviorSpec("bad", [(simple_phase(), 0.0)])
+
+    def test_phase_weights_normalized(self):
+        spec = BehaviorSpec("s", [(simple_phase(), 2.0), (simple_phase(), 6.0)])
+        assert spec.phase_weights().tolist() == [0.25, 0.75]
+
+    def test_schedule_respects_weights(self):
+        spec = BehaviorSpec("s", [(simple_phase(), 1.0), (simple_phase(), 3.0)])
+        schedule = spec.phase_schedule(100)
+        assert schedule.count(1) == pytest.approx(75, abs=2)
+
+    def test_schedule_interleaves(self):
+        spec = BehaviorSpec("s", [(simple_phase(), 1.0), (simple_phase(), 1.0)])
+        schedule = spec.phase_schedule(10)
+        # Alternating, not A A A A A B B B B B.
+        assert schedule[:4] != [0, 0, 0, 0]
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = application_spec("astar")
+        a = generate_trace(spec, 5_000, seed=9)
+        b = generate_trace(spec, 5_000, seed=9)
+        assert (a.data == b.data).all()
+
+    def test_seed_changes_trace(self):
+        spec = application_spec("astar")
+        a = generate_trace(spec, 5_000, seed=9)
+        b = generate_trace(spec, 5_000, seed=10)
+        assert not (a.data == b.data).all()
+
+    def test_exact_length(self):
+        spec = application_spec("hmmer")
+        assert len(generate_trace(spec, 7_777, seed=1)) == 7_777
+
+    def test_mix_approximates_spec(self):
+        spec = BehaviorSpec("m", [(simple_phase(), 1.0)])
+        trace = generate_trace(spec, 30_000, seed=2)
+        counts = trace.opclass_counts()
+        assert counts[OpClass.INT_ALU] / len(trace) == pytest.approx(0.5, abs=0.03)
+        assert counts[OpClass.MEMORY] / len(trace) == pytest.approx(0.4, abs=0.03)
+
+    def test_taken_rate_approximated(self):
+        spec = BehaviorSpec("t", [(simple_phase(taken_rate=0.9), 1.0)])
+        trace = generate_trace(spec, 30_000, seed=2)
+        control = trace.control_mask()
+        assert trace.taken[control].mean() == pytest.approx(0.9, abs=0.05)
+
+    def test_memory_ops_have_addresses(self):
+        spec = application_spec("astar")
+        trace = generate_trace(spec, 5_000, seed=1)
+        mem = trace.memory_mask()
+        assert (trace.addr[mem] > 0).all()
+        assert (trace.addr[~mem] == 0).all()
+
+    def test_streaming_produces_sequential_addresses(self):
+        phase = simple_phase(stream_rate=0.9, new_block_rate=0.0)
+        trace = generate_trace(BehaviorSpec("s", [(phase, 1.0)]), 10_000, seed=4)
+        addrs = trace.addr[trace.memory_mask()]
+        deltas = np.diff(addrs)
+        assert (deltas == 8).mean() > 0.5  # mostly unit-stride
+
+    def test_recurrence_interval_sets_deps(self):
+        phase = simple_phase(recurrence_interval=5)
+        spec = BehaviorSpec("r", [(phase, 1.0)])
+        # A single phase segment covers the trace (shard_length * phase_run
+        # >= n), so the chain indices are globally aligned.
+        trace = generate_trace(spec, 1_000, seed=4, shard_length=1_000)
+        assert (trace.dep[5::5] == 5).all()
+
+    def test_instruction_addresses_within_regions(self):
+        spec = application_spec("hmmer")
+        trace = generate_trace(spec, 5_000, seed=1)
+        assert (trace.iaddr >= 0).all()
+
+    def test_small_code_footprint_reuses_blocks(self):
+        tight = simple_phase(code_blocks=4, far_jump_rate=0.0)
+        trace = generate_trace(BehaviorSpec("i", [(tight, 1.0)]), 5_000, seed=5)
+        blocks = np.unique(trace.iaddr >> 6)
+        assert len(blocks) <= 8
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(application_spec("astar"), 0)
+
+
+class TestSuite:
+    def test_seven_applications(self):
+        suite = spec2006_suite()
+        assert tuple(suite) == SPEC_APP_NAMES
+        assert len(suite) == 7
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            application_spec("gcc")
+
+    def test_bwaves_is_fp_heavy_outlier(self):
+        trace_b = generate_trace(application_spec("bwaves"), 20_000, seed=1)
+        trace_s = generate_trace(application_spec("sjeng"), 20_000, seed=1)
+        fp = lambda t: (
+            t.opclass_counts()[OpClass.FP_ALU] + t.opclass_counts()[OpClass.FP_MULDIV]
+        ) / len(t)
+        assert fp(trace_b) > 3 * fp(trace_s)
+
+    def test_bwaves_high_taken_rate(self):
+        trace = generate_trace(application_spec("bwaves"), 20_000, seed=1)
+        control = trace.control_mask()
+        assert trace.taken[control].mean() > 0.7
+
+    def test_optimization_variant_changes_memory_mix(self):
+        base = application_spec("bzip2")
+        o1 = optimization_variant(base, "-O1")
+        o3 = optimization_variant(base, "-O3")
+        mem = lambda s: s.phases[0][0].mix["memory"]
+        assert mem(o1) > mem(base) > mem(o3)
+
+    def test_optimization_variant_names(self):
+        assert optimization_variant(application_spec("astar"), "-O1").name == "astar-O1"
+
+    def test_optimization_variant_validates_level(self):
+        with pytest.raises(ValueError):
+            optimization_variant(application_spec("astar"), "-O2")
+
+    def test_input_variant_changes_weights(self):
+        base = application_spec("astar")
+        v = input_variant(base, "-v2")
+        assert v.name == "astar-v2"
+        assert not np.allclose(v.phase_weights(), base.phase_weights())
+
+    def test_input_variant_validates_set(self):
+        with pytest.raises(ValueError):
+            input_variant(application_spec("astar"), "-v9")
+
+    def test_variants_are_deterministic(self):
+        a = optimization_variant(application_spec("astar"), "-O1")
+        b = optimization_variant(application_spec("astar"), "-O1")
+        assert a.phases[0][0].mix == b.phases[0][0].mix
+
+
+class TestRandomBehaviorSpec:
+    def test_valid_and_named(self):
+        from repro.workloads import random_behavior_spec
+
+        rng = np.random.default_rng(1)
+        spec = random_behavior_spec(rng, name="cover00")
+        assert spec.name == "cover00"
+        assert len(spec.phases) == 1
+        assert sum(spec.phases[0][0].mix.values()) == pytest.approx(1.0)
+
+    def test_generates_traces(self):
+        from repro.workloads import random_behavior_spec
+
+        rng = np.random.default_rng(2)
+        spec = random_behavior_spec(rng)
+        trace = generate_trace(spec, 3_000, seed=1)
+        assert len(trace) == 3_000
+
+    def test_diverse_across_draws(self):
+        from repro.workloads import random_behavior_spec
+
+        rng = np.random.default_rng(3)
+        mixes = [random_behavior_spec(rng).phases[0][0].mix["memory"] for _ in range(8)]
+        assert max(mixes) - min(mixes) > 0.05
