@@ -37,6 +37,7 @@ from repro.core.chromosome import (
 from repro.core.dataset import ProfileDataset
 from repro.core.fitness import FitnessResult, evaluate_spec
 from repro.core.model import InferredModel
+from repro.parallel import parallel_starmap, resolve_workers
 
 CROSSOVER_RATE = 0.125   # per crossover operator (C1, C2, C3)
 MUTATION_RATE = 0.05     # per mutation operator (M1, M2)
@@ -91,7 +92,11 @@ class GeneticSearch:
         defaults to the paper's per-application inner loop.
     n_workers:
         If > 1, candidate models of a generation are evaluated in a process
-        pool (the inner loop is embarrassingly parallel, §4.2).
+        pool (the inner loop is embarrassingly parallel, §4.2).  ``None``
+        (the default) resolves from ``$REPRO_WORKERS`` via
+        :func:`repro.parallel.resolve_workers`.  Every candidate is scored
+        with its own deterministically derived seed, so the search result
+        is identical at any worker count.
     """
 
     def __init__(
@@ -99,7 +104,7 @@ class GeneticSearch:
         population_size: int = DEFAULT_POPULATION,
         elite_fraction: float = DEFAULT_ELITE_FRACTION,
         evaluator: Optional[Callable] = None,
-        n_workers: int = 1,
+        n_workers: Optional[int] = None,
         seed: int = 0,
     ):
         if population_size < 4:
@@ -109,7 +114,7 @@ class GeneticSearch:
         self.population_size = population_size
         self.elite_fraction = elite_fraction
         self.evaluator = evaluator or evaluate_spec
-        self.n_workers = n_workers
+        self.n_workers = resolve_workers(n_workers)
         self.rng = np.random.default_rng(seed)
         self._population: List[Chromosome] = []
         self._split_seed = seed
@@ -205,13 +210,11 @@ class GeneticSearch:
         # differences reflect the specifications rather than split luck and
         # elite fitness is stable across generations.  Validation in the
         # experiments is always against independently sampled profiles.
-        jobs = [(c.to_spec(names), dataset, self._split_seed) for c in population]
-        if self.n_workers > 1:
-            import multiprocessing as mp
-
-            with mp.Pool(self.n_workers) as pool:
-                return pool.starmap(_evaluate_job, [(self.evaluator, *j) for j in jobs])
-        return [_evaluate_job(self.evaluator, *job) for job in jobs]
+        jobs = [
+            (self.evaluator, c.to_spec(names), dataset, self._split_seed)
+            for c in population
+        ]
+        return parallel_starmap(_evaluate_job, jobs, n_workers=self.n_workers)
 
     def _next_generation(self, ranked: List[Chromosome]) -> List[Chromosome]:
         """Elites survive; the rest are crossover/mutation offspring.

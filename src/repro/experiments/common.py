@@ -19,12 +19,15 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import ProfileDataset, ProfileRecord
+from repro.parallel import parallel_map
 from repro.profiling import SOFTWARE_VARIABLE_NAMES
 from repro.profiling.shards import ShardProfile
 from repro.uarch import HARDWARE_VARIABLE_NAMES, PipelineConfig, Simulator, sample_configs
@@ -76,13 +79,23 @@ def cache_dir() -> Path:
 
 
 def cached(key: str, build: Callable[[], object], refresh: bool = False):
-    """Fetch-or-build a pickled artifact keyed by ``key``."""
+    """Fetch-or-build a pickled artifact keyed by ``key``.
+
+    Every cache miss logs a one-line build-time summary to stderr, so the
+    slow stages of a bench run are visible at a glance.
+    """
     digest = hashlib.sha256(key.encode()).hexdigest()[:24]
     path = cache_dir() / f"{digest}.pkl"
     if path.exists() and not refresh:
         with open(path, "rb") as handle:
             return pickle.load(handle)
+    start = time.perf_counter()
     value = build()
+    elapsed = time.perf_counter() - start
+    print(
+        f"[repro.cache] built {key} in {elapsed:.1f}s ({digest}.pkl)",
+        file=sys.stderr,
+    )
     tmp = path.with_suffix(".tmp")
     with open(tmp, "wb") as handle:
         pickle.dump(value, handle)
@@ -193,6 +206,26 @@ def empty_general_dataset() -> ProfileDataset:
     return ProfileDataset(SOFTWARE_VARIABLE_NAMES, HARDWARE_VARIABLE_NAMES)
 
 
+def _build_app_records(
+    scale: Scale,
+    seed: int,
+    application: str,
+    configs: Sequence[PipelineConfig],
+    shard_indices: Sequence[int],
+) -> List[ProfileRecord]:
+    """Profile one application on pre-drawn (config, shard) pairs.
+
+    Top-level and fully determined by its arguments, so it can run in a
+    worker process: the trace generation and simulator statistics it
+    rebuilds are deterministic functions of (scale, seed, application).
+    """
+    study = GeneralStudy(scale, seed)
+    return [
+        study.record(application, shard_index, config)
+        for config, shard_index in zip(configs, shard_indices)
+    ]
+
+
 def build_general_dataset(
     scale: Scale,
     seed: int = 2012,
@@ -204,27 +237,49 @@ def build_general_dataset(
     architectures, each with a random shard.  Validation: an independent
     random sample of ``scale.validation_pairs`` application-architecture
     pairs.  Both are cached.
+
+    All architecture and shard draws happen serially up front (in the
+    exact order the original serial builder made them); the expensive part
+    — profiling and simulating each application's shards — then fans out
+    one job per application via :mod:`repro.parallel`, so the datasets are
+    identical at any ``REPRO_WORKERS`` setting.
     """
     apps = tuple(applications or spec2006_suite())
 
     def build():
-        study = GeneralStudy(scale, seed)
         rng = np.random.default_rng(seed)
-        train = empty_general_dataset()
-        val = empty_general_dataset()
+        jobs: List[Tuple[Scale, int, str, List[PipelineConfig], List[int]]] = []
         for app in apps:
             configs = sample_configs(scale.configs_per_app, rng)
-            for record in study.sample_records(app, configs, rng):
-                train.add(record)
+            shard_indices = [
+                int(rng.integers(0, scale.shards_per_app)) for _ in configs
+            ]
+            jobs.append((scale, seed, app, configs, shard_indices))
         per_app_val = max(1, scale.validation_pairs // len(apps))
         for app in apps:
             configs = sample_configs(per_app_val, rng)
-            for record in study.sample_records(app, configs, rng):
-                val.add(record)
+            shard_indices = [
+                int(rng.integers(0, scale.shards_per_app)) for _ in configs
+            ]
+            jobs.append((scale, seed, app, configs, shard_indices))
+
+        record_lists = parallel_map(_build_app_records_job, jobs)
+        train = empty_general_dataset()
+        val = empty_general_dataset()
+        for dataset, records in zip(
+            [train] * len(apps) + [val] * len(apps), record_lists
+        ):
+            for record in records:
+                dataset.add(record)
         return train, val
 
     key = f"general-dataset-v12|{scale.name}|{seed}|{','.join(apps)}"
     return cached(key, build)
+
+
+def _build_app_records_job(job) -> List[ProfileRecord]:
+    """Unpack one :func:`build_general_dataset` job tuple (picklable shim)."""
+    return _build_app_records(*job)
 
 
 def run_genetic_search(

@@ -26,6 +26,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.experiments.common import Scale, cached, current_scale
+from repro.parallel import parallel_map
 from repro.spmv import (
     BLOCK_SIZES,
     SpMVSpace,
@@ -41,6 +42,45 @@ from repro.spmv.cache import (
 
 MATRIX = "raefsky3"
 FILL_BINS = ((1.0, 1.05), (1.05, 1.25), (1.25, 2.0), (2.0, np.inf))
+
+#: Per-process memo of evaluation spaces, keyed by matrix name.  Simulation
+#: results are pure functions of (matrix, r, c, cache), so each process —
+#: the serial driver or a long-lived pool worker — safely accumulates its
+#: own; in serial mode this preserves the original single-space
+#: memoization across all trend jobs.
+_SPACE_MEMO: Dict[str, SpMVSpace] = {}
+
+
+def _space(matrix_name: str) -> SpMVSpace:
+    if matrix_name not in _SPACE_MEMO:
+        _SPACE_MEMO[matrix_name] = SpMVSpace(table4_matrix(matrix_name, seed=0))
+    return _SPACE_MEMO[matrix_name]
+
+
+def _trend_job(job):
+    """One cache's worth of simulations (picklable, deterministic).
+
+    ``("grid", matrix, cache)`` evaluates every block size for Figure 12
+    and returns ``(r, c, mflops, fill_ratio)`` tuples;
+    ``("sweep", matrix, cache, r, c, field, values)`` sweeps one cache
+    parameter for Figure 13 and returns ``(value, mflops)`` tuples.
+    """
+    kind = job[0]
+    if kind == "grid":
+        _, matrix_name, cache = job
+        space = _space(matrix_name)
+        out = []
+        for r in BLOCK_SIZES:
+            for c in BLOCK_SIZES:
+                result = space.evaluate(r, c, cache)
+                out.append((r, c, result.mflops, result.fill_ratio))
+        return out
+    _, matrix_name, cache, r, c, field, values = job
+    space = _space(matrix_name)
+    return [
+        (v, space.evaluate(r, c, dataclasses.replace(cache, **{field: v})).mflops)
+        for v in values
+    ]
 
 
 @dataclasses.dataclass
@@ -70,53 +110,58 @@ def run(scale: Optional[Scale] = None, seed: int = 2012) -> TrendResult:
 
     def build():
         rng = np.random.default_rng(seed + 700)
-        space = SpMVSpace(table4_matrix(MATRIX, seed=0))
         bases = sample_cache_configs(n_caches, rng)
-        evaluations = 0
-
-        # --- Figure 12: all 64 block sizes on every base cache -----------------
-        brow_sums: Dict[int, list] = {r: [] for r in BLOCK_SIZES}
-        bcol_sums: Dict[int, list] = {c: [] for c in BLOCK_SIZES}
-        fill_sums: Dict[str, list] = {_fill_label(lo): [] for lo, _ in FILL_BINS}
-        for cache in bases:
-            for r in BLOCK_SIZES:
-                for c in BLOCK_SIZES:
-                    result = space.evaluate(r, c, cache)
-                    evaluations += 1
-                    brow_sums[r].append(result.mflops)
-                    bcol_sums[c].append(result.mflops)
-                    fill_sums[_fill_label(result.fill_ratio)].append(result.mflops)
-
-        # --- Figure 13: one-parameter sweeps around each base cache -----------
+        # Blocks for the Figure 13 sweeps: drawn here, like every random
+        # choice, before any simulation fans out (the Figure 12 loop draws
+        # nothing, so the stream matches the original serial driver).
         blocks = [
             (int(rng.choice(BLOCK_SIZES)), int(rng.choice(BLOCK_SIZES)))
             for _ in bases
         ]
 
-        def sweep(axis_values, rebuild):
-            sums = {v: [] for v in axis_values}
-            for cache, (r, c) in zip(bases, blocks):
-                for v in axis_values:
-                    result = space.evaluate(r, c, rebuild(cache, v))
-                    sums[v].append(result.mflops)
-            return {v: float(np.mean(s)) for v, s in sums.items()}
+        axes = [
+            ("line_bytes", LINE_BYTES_LEVELS),
+            ("dsize_kb", DSIZE_KB_LEVELS),
+            ("dways", DWAYS_LEVELS),
+            ("drepl", REPL_POLICIES),
+        ]
+        jobs = [("grid", MATRIX, cache) for cache in bases]
+        for field, values in axes:
+            jobs += [
+                ("sweep", MATRIX, cache, r, c, field, values)
+                for cache, (r, c) in zip(bases, blocks)
+            ]
+        results = parallel_map(_trend_job, jobs)
+        grid_results = results[: len(bases)]
+        sweep_results = results[len(bases):]
 
-        by_line = sweep(
-            LINE_BYTES_LEVELS,
-            lambda cache, v: dataclasses.replace(cache, line_bytes=v),
-        )
-        by_dsize = sweep(
-            DSIZE_KB_LEVELS,
-            lambda cache, v: dataclasses.replace(cache, dsize_kb=v),
-        )
-        by_dways = sweep(
-            DWAYS_LEVELS,
-            lambda cache, v: dataclasses.replace(cache, dways=v),
-        )
-        by_drepl = sweep(
-            REPL_POLICIES,
-            lambda cache, v: dataclasses.replace(cache, drepl=v),
-        )
+        # --- Figure 12: all 64 block sizes on every base cache -----------------
+        evaluations = 0
+        brow_sums: Dict[int, list] = {r: [] for r in BLOCK_SIZES}
+        bcol_sums: Dict[int, list] = {c: [] for c in BLOCK_SIZES}
+        fill_sums: Dict[str, list] = {_fill_label(lo): [] for lo, _ in FILL_BINS}
+        for grid in grid_results:
+            for r, c, mflops, fill_ratio in grid:
+                evaluations += 1
+                brow_sums[r].append(mflops)
+                bcol_sums[c].append(mflops)
+                fill_sums[_fill_label(fill_ratio)].append(mflops)
+
+        # --- Figure 13: one-parameter sweeps around each base cache -----------
+        trends = {}
+        for axis_index, (field, values) in enumerate(axes):
+            per_axis = sweep_results[
+                axis_index * len(bases):(axis_index + 1) * len(bases)
+            ]
+            sums = {v: [] for v in values}
+            for pairs in per_axis:
+                for v, mflops in pairs:
+                    sums[v].append(mflops)
+            trends[field] = {v: float(np.mean(s)) for v, s in sums.items()}
+        by_line = trends["line_bytes"]
+        by_dsize = trends["dsize_kb"]
+        by_dways = trends["dways"]
+        by_drepl = trends["drepl"]
         evaluations += len(bases) * (
             len(LINE_BYTES_LEVELS)
             + len(DSIZE_KB_LEVELS)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core import BoxplotStats, absolute_percentage_errors, pearson_correlation
 from repro.experiments.common import Scale, cached, current_scale
+from repro.parallel import parallel_map
 from repro.spmv import MATRIX_NAMES, SpMVSpace, fit_spmv_model, table4_matrix
 
 
@@ -34,35 +35,48 @@ class Fig14Result:
     median_of_medians_power: float
 
 
+def _matrix_accuracy(job) -> MatrixAccuracy:
+    """Sample, fit and validate one matrix (a picklable per-matrix job).
+
+    Each matrix gets its own deterministically derived generators, so the
+    result is independent of how the matrices are spread over workers.
+    """
+    index, name, seed, scale = job
+    rng = np.random.default_rng(seed + 800 + index)
+    space = SpMVSpace(table4_matrix(name, seed=0))
+    train_perf = space.sample_dataset(scale.spmv_train, rng, "mflops")
+    val_perf = space.sample_dataset(scale.spmv_val, rng, "mflops")
+    model_perf = fit_spmv_model(train_perf)
+    pred_perf = model_perf.predict(val_perf)
+
+    rng_p = np.random.default_rng(seed + 900 + index)
+    train_pow = space.sample_dataset(scale.spmv_train, rng_p, "nj_per_flop")
+    val_pow = space.sample_dataset(scale.spmv_val, rng_p, "nj_per_flop")
+    model_pow = fit_spmv_model(train_pow)
+    pred_pow = model_pow.predict(val_pow)
+
+    return MatrixAccuracy(
+        performance=BoxplotStats.from_errors(
+            absolute_percentage_errors(pred_perf, val_perf.targets())
+        ),
+        power=BoxplotStats.from_errors(
+            absolute_percentage_errors(pred_pow, val_pow.targets())
+        ),
+        performance_rho=pearson_correlation(pred_perf, val_perf.targets()),
+        power_rho=pearson_correlation(pred_pow, val_pow.targets()),
+    )
+
+
 def run(scale: Optional[Scale] = None, seed: int = 2012) -> Fig14Result:
     scale = scale or current_scale()
 
     def build():
-        per_matrix: Dict[str, MatrixAccuracy] = {}
-        for index, name in enumerate(MATRIX_NAMES):
-            rng = np.random.default_rng(seed + 800 + index)
-            space = SpMVSpace(table4_matrix(name, seed=0))
-            train_perf = space.sample_dataset(scale.spmv_train, rng, "mflops")
-            val_perf = space.sample_dataset(scale.spmv_val, rng, "mflops")
-            model_perf = fit_spmv_model(train_perf)
-            pred_perf = model_perf.predict(val_perf)
-
-            rng_p = np.random.default_rng(seed + 900 + index)
-            train_pow = space.sample_dataset(scale.spmv_train, rng_p, "nj_per_flop")
-            val_pow = space.sample_dataset(scale.spmv_val, rng_p, "nj_per_flop")
-            model_pow = fit_spmv_model(train_pow)
-            pred_pow = model_pow.predict(val_pow)
-
-            per_matrix[name] = MatrixAccuracy(
-                performance=BoxplotStats.from_errors(
-                    absolute_percentage_errors(pred_perf, val_perf.targets())
-                ),
-                power=BoxplotStats.from_errors(
-                    absolute_percentage_errors(pred_pow, val_pow.targets())
-                ),
-                performance_rho=pearson_correlation(pred_perf, val_perf.targets()),
-                power_rho=pearson_correlation(pred_pow, val_pow.targets()),
-            )
+        jobs = [
+            (index, name, seed, scale)
+            for index, name in enumerate(MATRIX_NAMES)
+        ]
+        accuracies = parallel_map(_matrix_accuracy, jobs)
+        per_matrix = dict(zip(MATRIX_NAMES, accuracies))
         perf_medians = [m.performance.median for m in per_matrix.values()]
         power_medians = [m.power.median for m in per_matrix.values()]
         return Fig14Result(

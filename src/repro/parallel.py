@@ -1,0 +1,102 @@
+"""Deterministic process-level parallelism for the experiment pipeline.
+
+The paper parallelizes its embarrassingly parallel inner loops with R's
+doMC (§4.2); this module is the Python equivalent used by the genetic
+search, the dataset builders, and the SpMV experiment drivers.
+
+Design rules that keep every result identical at any worker count:
+
+* all randomness is drawn (or seeded) *serially* before any fan-out —
+  workers receive data or seeds, never a shared generator;
+* :func:`parallel_map` / :func:`parallel_starmap` preserve input order, so
+  reductions see results in the same order the serial loop would produce;
+* worker counts come from one place (:func:`resolve_workers`), so
+  ``REPRO_WORKERS`` uniformly controls the whole pipeline.
+
+``REPRO_WORKERS`` semantics: unset or empty means serial (1); ``0`` or
+``auto`` means one worker per CPU; any other integer is used as given
+(minimum 1).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(n_workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument wins, then ``$REPRO_WORKERS``, then 1.
+
+    ``0`` (or ``auto`` in the environment variable) selects the CPU count.
+    """
+    if n_workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+        if raw == "":
+            return 1
+        if raw == "auto":
+            n_workers = 0
+        else:
+            try:
+                n_workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"${WORKERS_ENV} must be an integer or 'auto', got {raw!r}"
+                ) from None
+    if n_workers == 0:
+        n_workers = multiprocessing.cpu_count()
+    return max(1, int(n_workers))
+
+
+def chunk_seeds(base_seed: int, n: int) -> List[int]:
+    """``n`` independent child seeds derived from ``base_seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children are
+    statistically independent of each other *and* of the parent stream —
+    handing seed *i* to job *i* gives identical results however the jobs
+    are distributed over workers.
+    """
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Order-preserving map over a process pool.
+
+    Serial (plain loop, no pool, no pickling) when the resolved worker
+    count is 1 or there is at most one item.  ``fn`` must be a module-level
+    callable for the parallel path.
+    """
+    workers = resolve_workers(n_workers)
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with multiprocessing.Pool(min(workers, len(items))) as pool:
+        return pool.map(fn, items, chunksize=chunksize)
+
+
+def parallel_starmap(
+    fn: Callable[..., R],
+    arg_tuples: Iterable[tuple],
+    n_workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """:func:`parallel_map` for functions of several arguments."""
+    workers = resolve_workers(n_workers)
+    jobs = list(arg_tuples)
+    if workers <= 1 or len(jobs) <= 1:
+        return [fn(*args) for args in jobs]
+    with multiprocessing.Pool(min(workers, len(jobs))) as pool:
+        return pool.starmap(fn, jobs, chunksize=chunksize)

@@ -17,6 +17,12 @@ from typing import Iterator, List, Sequence
 
 import numpy as np
 
+from repro.profiling.reuse import stack_distances_and_prev
+
+#: Below this many accesses the vectorized LRU path's setup cost is not
+#: worth it; short streams go through the reference loop.
+_VECTORIZE_MIN = 256
+
 LINE_BYTES_LEVELS = (16, 32, 64, 128)                  # y1: 16B :: 2x :: 128B
 DSIZE_KB_LEVELS = (4, 8, 16, 32, 64, 128, 256)         # y2: 4KB :: 2x :: 256KB
 DWAYS_LEVELS = (1, 2, 4, 8)                            # y3: 1 :: 2x :: 8
@@ -206,22 +212,51 @@ class SetAssociativeCache:
     def simulate(self, addresses: Sequence[int]) -> int:
         """Run a full address stream; returns the miss count.
 
-        Tight-loop implementation of :meth:`access` for throughput.
+        Equivalent to an :meth:`access` call per address (same miss count,
+        same final state, same RNG consumption for the randomized
+        policies).  LRU streams long enough to amortize the setup take a
+        numpy fast path with no per-access Python work; everything else
+        (randomized policies, warm caches, tiny streams) runs the
+        reference loop.
+        """
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if (
+            self.policy == "LRU"
+            and len(addrs) >= _VECTORIZE_MIN
+            and not any(self._sets)
+        ):
+            return self._simulate_lru_vectorized(addrs)
+        return self.simulate_reference(addrs)
+
+    def _group_by_set(self, lines: np.ndarray) -> np.ndarray:
+        """Reorder ``lines`` so each set's subsequence is contiguous.
+
+        Program order is preserved within each set: the sort keys
+        ``set * m + position`` are unique, so an unstable argsort is
+        grouping-stable at a fraction of ``kind="stable"``'s cost.
+        """
+        m = len(lines)
+        sets = (lines % self.n_sets).astype(np.int64)
+        order = np.argsort(sets * np.int64(m) + np.arange(m, dtype=np.int64))
+        return lines[order]
+
+    def simulate_reference(self, addresses: Sequence[int]) -> int:
+        """Per-access loop implementation of :meth:`simulate`.
+
+        Eviction draws happen lazily, one per conflict miss, exactly as in
+        :meth:`access` — so a ``simulate_reference`` call is RNG-identical
+        to the equivalent sequence of ``access`` calls (an earlier revision
+        pre-drew one victim per *access*, which wasted draws and diverged
+        from the incremental API).
         """
         misses = 0
         sets = self._sets
         n_sets = self.n_sets
         ways = self.ways
-        shift = self._line_shift
         policy = self.policy
         rng = self._rng
-        lines = (np.asarray(addresses, dtype=np.int64) >> shift).tolist()
-        if policy == "RND":
-            evict_draws = iter(rng.integers(0, ways, size=len(lines)).tolist())
-        elif policy == "NMRU":
-            evict_draws = iter(
-                (1 + rng.integers(0, max(1, ways - 1), size=len(lines))).tolist()
-            )
+        lines = (np.asarray(addresses, dtype=np.int64) >> self._line_shift).tolist()
+        nmru_span = max(1, ways - 1)
         for line in lines:
             ways_list = sets[line % n_sets]
             if line in ways_list:
@@ -233,11 +268,116 @@ class SetAssociativeCache:
             if len(ways_list) >= ways:
                 if policy == "LRU":
                     ways_list.pop()
-                else:
-                    victim = min(next(evict_draws), len(ways_list) - 1)
-                    del ways_list[victim]
+                elif policy == "NMRU":
+                    victim = 1 + int(rng.integers(0, nmru_span))
+                    del ways_list[min(victim, len(ways_list) - 1)]
+                else:  # RND
+                    del ways_list[int(rng.integers(0, len(ways_list)))]
             ways_list.insert(0, line)
         return misses
+
+    def _simulate_lru_vectorized(self, addrs: np.ndarray) -> int:
+        """Batched cold-start LRU simulation.
+
+        A set-associative LRU cache hits exactly when the access's *per-set*
+        stack distance (distinct lines mapping to the same set touched since
+        the previous access to this line) is below the associativity.
+        Grouping the stream by set makes each set's subsequence contiguous
+        while preserving its program order, so one vectorized stack-distance
+        pass over the grouped stream yields every per-set distance at once
+        (a line determines its set, so no same-line window ever crosses a
+        set boundary).
+
+        One- and two-way caches skip the stack-distance machinery entirely:
+        on the repeat-collapsed grouped stream every surviving access has
+        distance >= 1, so a direct-mapped cache misses on all of them, and
+        a two-way cache hits exactly when the line two collapsed positions
+        back is the same (equal lines imply the same set, so no segment
+        test is needed).
+
+        For mid-associativity (4-8 way) caches the crossover against the
+        reference loop depends on how much the stream collapses, so the
+        cheap grouping+collapse probe runs first and falls back to the
+        loop when the collapsed stream is still most of the input.
+        """
+        lines = addrs >> self._line_shift
+        grouped = self._group_by_set(lines)
+        misses: int
+        if self.ways <= 2:
+            m = len(grouped)
+            keep = np.empty(m, dtype=bool)
+            keep[0] = True
+            np.not_equal(grouped[1:], grouped[:-1], out=keep[1:])
+            collapsed = grouped[keep]
+            if self.ways == 1:
+                misses = int(len(collapsed))
+            else:
+                hits2 = collapsed[2:] == collapsed[:-2]
+                misses = int(len(collapsed) - hits2.sum())
+            self._rebuild_small_ways(collapsed)
+        else:
+            if self.ways <= 8:
+                n_distinct_steps = 1 + int(
+                    np.count_nonzero(grouped[1:] != grouped[:-1])
+                )
+                if 4 * n_distinct_steps > len(grouped):
+                    return self.simulate_reference(addrs)
+            distances, _, collapsed, prev = stack_distances_and_prev(grouped)
+            misses = int((distances >= self.ways).sum())
+            self._rebuild_from_collapsed(collapsed, prev)
+        return misses
+
+    def _rebuild_small_ways(self, collapsed: np.ndarray) -> None:
+        """Final state for 1- and 2-way caches from the collapsed stream.
+
+        Consecutive collapsed entries always differ, so a set's final MRU
+        list is simply the last one (or two) entries of its segment.
+        """
+        self._sets = [[] for _ in range(self.n_sets)]
+        if len(collapsed) == 0:
+            return
+        sets_c = collapsed % self.n_sets
+        ends = np.flatnonzero(np.r_[sets_c[1:] != sets_c[:-1], True])
+        for end in ends.tolist():
+            set_id = int(sets_c[end])
+            entry = [int(collapsed[end])]
+            if self.ways == 2 and end > 0 and sets_c[end - 1] == set_id:
+                entry.append(int(collapsed[end - 1]))
+            self._sets[set_id] = entry
+
+    def _rebuild_from_collapsed(
+        self, collapsed: np.ndarray, prev: np.ndarray
+    ) -> None:
+        """Final per-set MRU lists from the collapsed grouped stream.
+
+        An access is its line's *last* when no later access points back at
+        it through ``prev``.  Those last accesses appear in (set, program
+        order) — the collapsed stream is grouped — so within each set they
+        are already recency-sorted (oldest first); keeping the final
+        ``ways`` of each segment and appending in reverse builds every MRU
+        list without another sort.
+        """
+        self._sets = [[] for _ in range(self.n_sets)]
+        n = len(collapsed)
+        if n == 0:
+            return
+        has_next = np.zeros(n, dtype=bool)
+        links = prev[prev >= 0]
+        has_next[links] = True
+        last_idx = np.flatnonzero(~has_next)
+        lines_last = collapsed[last_idx]
+        sets_last = lines_last % self.n_sets  # non-decreasing
+        starts = np.flatnonzero(np.r_[True, sets_last[1:] != sets_last[:-1]])
+        sizes = np.diff(np.r_[starts, len(sets_last)])
+        ends_excl = starts + sizes
+        rank_from_end = (
+            np.repeat(ends_excl, sizes) - 1 - np.arange(len(sets_last))
+        )
+        keep = rank_from_end < self.ways
+        sets_kept = sets_last[keep].tolist()
+        lines_kept = lines_last[keep].tolist()
+        for set_id, line in zip(reversed(sets_kept), reversed(lines_kept)):
+            self._sets[set_id].append(line)
 
     def _insert(self, ways_list: List[int], line: int) -> None:
         if len(ways_list) >= self.ways:
