@@ -31,7 +31,13 @@ from repro.core.collinearity import (
     prune_design,
     variance_inflation_factors,
 )
-from repro.core.regression import LinearFit, fit_ols, r_squared
+from repro.core.regression import (
+    LinearFit,
+    accumulate_gram,
+    fit_ols,
+    r_squared,
+    solve_gram,
+)
 from repro.core.metrics import (
     BoxplotStats,
     absolute_percentage_errors,
@@ -41,7 +47,8 @@ from repro.core.metrics import (
 )
 from repro.core.model import InferredModel
 from repro.core.chromosome import Chromosome, chromosome_from_spec
-from repro.core.fitness import FitnessResult, evaluate_spec
+from repro.core.fitness import FitnessResult, derive_app_splits, evaluate_spec
+from repro.core.engine import ColumnStore, FitnessEngine
 from repro.core.genetic import GeneticSearch, SearchResult, GenerationRecord
 from repro.core.updater import ModelManager, ObservationOutcome
 from repro.core.stepwise import stepwise_search
@@ -81,8 +88,10 @@ __all__ = [
     "prune_design",
     "variance_inflation_factors",
     "LinearFit",
+    "accumulate_gram",
     "fit_ols",
     "r_squared",
+    "solve_gram",
     "BoxplotStats",
     "absolute_percentage_errors",
     "median_error",
@@ -92,7 +101,10 @@ __all__ = [
     "Chromosome",
     "chromosome_from_spec",
     "FitnessResult",
+    "derive_app_splits",
     "evaluate_spec",
+    "ColumnStore",
+    "FitnessEngine",
     "GeneticSearch",
     "SearchResult",
     "GenerationRecord",

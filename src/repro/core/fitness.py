@@ -16,7 +16,8 @@ per-application median errors, which :func:`evaluate_spec` also returns.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+import hashlib
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +25,10 @@ from repro.core.dataset import ProfileDataset
 from repro.core.design import ModelSpec
 from repro.core.metrics import median_error
 from repro.core.model import InferredModel
+
+#: Per-application (train_indices, val_indices) pairs of *global* dataset
+#: row indices, as produced by :func:`derive_app_splits`.
+AppSplits = Mapping[str, Tuple[np.ndarray, np.ndarray]]
 
 #: Weight applied to the evaluated application's own training profiles.
 DEFAULT_TRAINING_WEIGHT = 2.0
@@ -48,14 +53,61 @@ class FitnessResult:
         return self.mean_error
 
 
+def derive_app_splits(
+    dataset: ProfileDataset,
+    seed: int,
+    train_fraction: float = DEFAULT_TRAIN_FRACTION,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Fix each application's train/validation split once per search.
+
+    Returns per-application ``(train_indices, val_indices)`` arrays of
+    *global* row indices into ``dataset``.  Each application's permutation
+    is seeded by ``(seed, hash(application name))``, so its split is
+    independent of application order and of which other applications exist
+    — and, crucially, identical for every specification scored during a
+    search.  That determinism is what makes fitness memoization sound: two
+    evaluations of the same spec see the same splits and therefore the
+    same fitness.
+
+    Applications too small to split (fewer than 2 records) get an empty
+    validation side, which scorers report as :data:`FAILED_FITNESS`.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    groups: Dict[str, list] = {}
+    for i, record in enumerate(dataset):
+        groups.setdefault(record.application, []).append(i)
+    splits: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for app, group in groups.items():
+        indices = np.array(group, dtype=int)
+        digest = hashlib.sha256(app.encode()).digest()
+        app_entropy = int.from_bytes(digest[:8], "little")
+        rng = np.random.default_rng(
+            np.random.SeedSequence([int(seed), app_entropy])
+        )
+        perm = rng.permutation(len(indices))
+        cut = int(round(train_fraction * len(indices)))
+        train = np.sort(indices[perm[:cut]])
+        val = np.sort(indices[perm[cut:]])
+        splits[app] = (train, val)
+    return splits
+
+
 def evaluate_spec(
     spec: ModelSpec,
     dataset: ProfileDataset,
     rng: np.random.Generator,
     weight: float = DEFAULT_TRAINING_WEIGHT,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
+    splits: Optional[AppSplits] = None,
 ) -> FitnessResult:
-    """Evaluate a candidate specification with the paper's inner loop."""
+    """Evaluate a candidate specification with the paper's inner loop.
+
+    With ``splits`` (from :func:`derive_app_splits`) the per-application
+    train/validation partitions are taken as given and ``rng`` is not
+    consumed; without it, each application is split with fresh ``rng``
+    draws (the historical behaviour).
+    """
     applications = dataset.applications
     if not applications:
         raise ValueError("dataset has no applications")
@@ -63,10 +115,18 @@ def evaluate_spec(
 
     per_app: Dict[str, float] = {}
     for app in applications:
-        own = groups[app]
         others = dataset.without_application(app)
-        error = _fit_and_score(spec, others, own, rng, weight, train_fraction)
-        per_app[app] = error
+        if splits is not None:
+            train_idx, val_idx = splits[app]
+            train_own = dataset.subset([int(i) for i in train_idx])
+            val_own = dataset.subset([int(i) for i in val_idx])
+        else:
+            own = groups[app]
+            if len(own) < 2:
+                per_app[app] = FAILED_FITNESS
+                continue
+            train_own, val_own = own.split(train_fraction, rng, stratify=False)
+        per_app[app] = _fit_and_score(spec, others, train_own, val_own, weight)
     errors = np.array(list(per_app.values()))
     return FitnessResult(
         mean_error=float(errors.mean()),
@@ -78,15 +138,11 @@ def evaluate_spec(
 def _fit_and_score(
     spec: ModelSpec,
     others: ProfileDataset,
-    own: ProfileDataset,
-    rng: np.random.Generator,
+    train_own: ProfileDataset,
+    val_own: ProfileDataset,
     weight: float,
-    train_fraction: float,
 ) -> float:
     """Fit on {P_-s, T_s} x w, score on V_s."""
-    if len(own) < 2:
-        return FAILED_FITNESS
-    train_own, val_own = own.split(train_fraction, rng, stratify=False)
     if len(val_own) == 0 or len(train_own) == 0:
         return FAILED_FITNESS
     combined = ProfileDataset.merge([others, train_own])

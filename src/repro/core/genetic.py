@@ -22,7 +22,8 @@ realized.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence, Tuple
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +36,8 @@ from repro.core.chromosome import (
     mutate_variable,
 )
 from repro.core.dataset import ProfileDataset
-from repro.core.fitness import FitnessResult, evaluate_spec
+from repro.core.engine import FitnessEngine, evaluate_chunk
+from repro.core.fitness import FitnessResult, derive_app_splits, evaluate_spec
 from repro.core.model import InferredModel
 from repro.parallel import parallel_starmap, resolve_workers
 
@@ -88,8 +90,14 @@ class GeneticSearch:
     elite_fraction:
         Fraction N% of each generation that survives unchanged.
     evaluator:
-        Fitness function ``(spec, dataset, rng) -> FitnessResult``;
-        defaults to the paper's per-application inner loop.
+        Fitness function ``(spec, dataset, rng) -> FitnessResult``.  When
+        ``None`` (the default) candidates are scored by the batched
+        :class:`repro.core.engine.FitnessEngine`, with results memoized by
+        chromosome for the duration of a search (sound because the
+        train/validation splits are fixed per search).  Pass
+        :func:`repro.core.fitness.evaluate_spec` explicitly to score with
+        the reference per-application inner loop; evaluators accepting a
+        ``splits`` keyword receive the search's fixed splits.
     n_workers:
         If > 1, candidate models of a generation are evaluated in a process
         pool (the inner loop is embarrassingly parallel, §4.2).  ``None``
@@ -113,11 +121,15 @@ class GeneticSearch:
             raise ValueError("elite_fraction must be in (0, 1)")
         self.population_size = population_size
         self.elite_fraction = elite_fraction
-        self.evaluator = evaluator or evaluate_spec
+        self.evaluator = evaluator
         self.n_workers = resolve_workers(n_workers)
         self.rng = np.random.default_rng(seed)
         self._population: List[Chromosome] = []
         self._split_seed = seed
+        self._splits = None
+        self._engine: Optional[FitnessEngine] = None
+        self._memo: Dict[Chromosome, FitnessResult] = {}
+        self.last_eval_stats: Dict[str, float] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -131,7 +143,23 @@ class GeneticSearch:
         """Evolve for ``generations`` and return the final population."""
         names = dataset.variable_names
         n_vars = len(names)
+        # One split seed — and therefore one fixed train/validation split
+        # per application — for the whole search.  Fixed splits remove
+        # fitness noise between identical specs and make memoization sound.
         self._split_seed = int(self.rng.integers(0, 2**31))
+        self._splits = derive_app_splits(dataset, self._split_seed)
+        self._engine = None
+        self._memo = {}
+        self.last_eval_stats = {
+            "candidates_scored": 0,
+            "memo_hits": 0,
+            "engine_evaluations": 0,
+            "gram_fits": 0,
+            "lstsq_fallbacks": 0,
+            "failed_fits": 0,
+            "column_hits": 0,
+            "column_builds": 0,
+        }
         if initial_population is not None:
             population = list(initial_population)
             population += [
@@ -169,6 +197,18 @@ class GeneticSearch:
         population = [population[i] for i in order]
         fitnesses = [fitnesses[i] for i in order]
         self._population = population
+        if self._engine is not None:
+            self._merge_stats(self._engine.stats())
+        scored = self.last_eval_stats["candidates_scored"]
+        hits = self.last_eval_stats["memo_hits"]
+        columns = (
+            self.last_eval_stats["column_hits"]
+            + self.last_eval_stats["column_builds"]
+        )
+        self.last_eval_stats["memo_hit_rate"] = hits / scored if scored else 0.0
+        self.last_eval_stats["column_hit_rate"] = (
+            self.last_eval_stats["column_hits"] / columns if columns else 0.0
+        )
         return SearchResult(
             best_chromosome=population[0],
             best_fitness=fitnesses[0],
@@ -206,15 +246,89 @@ class GeneticSearch:
         names: Tuple[str, ...],
     ) -> List[FitnessResult]:
         # Common random numbers: every candidate (in every generation of a
-        # run) is scored on the *same* train/validation splits, so fitness
-        # differences reflect the specifications rather than split luck and
-        # elite fitness is stable across generations.  Validation in the
-        # experiments is always against independently sampled profiles.
+        # run) is scored on the *same* fixed train/validation splits, so
+        # fitness differences reflect the specifications rather than split
+        # luck and elite fitness is stable across generations.  Validation
+        # in the experiments is always against independently sampled
+        # profiles.
+        if self.evaluator is not None:
+            return self._evaluate_with_callable(population, dataset, names)
+        return self._evaluate_with_engine(population, dataset, names)
+
+    def _evaluate_with_engine(
+        self,
+        population: List[Chromosome],
+        dataset: ProfileDataset,
+        names: Tuple[str, ...],
+    ) -> List[FitnessResult]:
+        """Engine path: memoized, chunk-parallel batched evaluation.
+
+        Identical chromosomes (elites, convergent crossovers, duplicates
+        within a generation) are scored once per search; the remainder is
+        chunked so each worker builds the engine's column store once per
+        chunk rather than once per candidate.
+        """
+        memo = self._memo
+        self.last_eval_stats["candidates_scored"] += len(population)
+        pending = [c for c in dict.fromkeys(population) if c not in memo]
+        self.last_eval_stats["memo_hits"] += len(population) - len(pending)
+        if pending:
+            if self.n_workers <= 1 or len(pending) <= 1:
+                if self._engine is None:
+                    self._engine = FitnessEngine(dataset, self._split_seed)
+                results = self._engine.evaluate_many(
+                    [c.to_spec(names) for c in pending]
+                )
+            else:
+                n_chunks = min(self.n_workers, len(pending))
+                chunks = [pending[i::n_chunks] for i in range(n_chunks)]
+                jobs = [
+                    (dataset, self._split_seed, [c.to_spec(names) for c in chunk])
+                    for chunk in chunks
+                ]
+                outcomes = parallel_starmap(
+                    evaluate_chunk, jobs, n_workers=self.n_workers
+                )
+                by_chromosome: Dict[Chromosome, FitnessResult] = {}
+                for chunk, (chunk_results, chunk_stats) in zip(chunks, outcomes):
+                    by_chromosome.update(zip(chunk, chunk_results))
+                    self._merge_stats(chunk_stats)
+                results = [by_chromosome[c] for c in pending]
+            memo.update(zip(pending, results))
+        return [memo[c] for c in population]
+
+    def _evaluate_with_callable(
+        self,
+        population: List[Chromosome],
+        dataset: ProfileDataset,
+        names: Tuple[str, ...],
+    ) -> List[FitnessResult]:
+        """Custom-evaluator path (including the reference oracle).
+
+        Evaluators that accept a ``splits`` keyword are given the search's
+        fixed per-application splits; others keep the historical
+        ``(spec, dataset, rng)`` contract.
+        """
+        self.last_eval_stats["candidates_scored"] += len(population)
+        try:
+            takes_splits = "splits" in inspect.signature(self.evaluator).parameters
+        except (TypeError, ValueError):
+            takes_splits = False
+        splits = self._splits if takes_splits else None
         jobs = [
-            (self.evaluator, c.to_spec(names), dataset, self._split_seed)
+            (self.evaluator, c.to_spec(names), dataset, self._split_seed, splits)
             for c in population
         ]
         return parallel_starmap(_evaluate_job, jobs, n_workers=self.n_workers)
+
+    def _merge_stats(self, stats: Dict[str, float]) -> None:
+        merged = self.last_eval_stats
+        merged["engine_evaluations"] += stats.get("specs_evaluated", 0)
+        merged["gram_fits"] += stats.get("gram_fits", 0)
+        merged["lstsq_fallbacks"] += stats.get("lstsq_fallbacks", 0)
+        merged["failed_fits"] += stats.get("failed_fits", 0)
+        merged["column_hits"] += stats.get("column_hits", 0)
+        merged["column_builds"] += stats.get("column_builds", 0)
 
     def _next_generation(self, ranked: List[Chromosome]) -> List[Chromosome]:
         """Elites survive; the rest are crossover/mutation offspring.
@@ -274,6 +388,9 @@ class GeneticSearch:
         return children
 
 
-def _evaluate_job(evaluator, spec, dataset, seed) -> FitnessResult:
+def _evaluate_job(evaluator, spec, dataset, seed, splits=None) -> FitnessResult:
     """Top-level evaluation shim (picklable for multiprocessing)."""
-    return evaluator(spec, dataset, np.random.default_rng(seed))
+    rng = np.random.default_rng(seed)
+    if splits is not None:
+        return evaluator(spec, dataset, rng, splits=splits)
+    return evaluator(spec, dataset, rng)

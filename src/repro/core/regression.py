@@ -4,6 +4,16 @@ The basic regression ``z = b0 + b1 c1 + ... + bk ck + eps`` over design
 columns c, solved by numpy's (SVD-backed) least squares.  Weighted fits
 implement the paper's model-update step, which fits ``{P_-s, T_s} x w`` —
 the new application's training profiles replicated/weighted by w (§3.3).
+
+For the genetic search's leave-one-application-out inner loop, the same
+weighted fit is also available in **Gram (normal-equation) form**:
+:func:`accumulate_gram` reduces a design block to ``(XᵀWX, XᵀWy)``
+contributions that are *additive over rows*, so per-application fits can
+be realized as cheap block updates of one shared accumulation, and
+:func:`solve_gram` solves the resulting p×p system by Cholesky.  The Gram
+path squares the condition number of the design, so :func:`solve_gram`
+refuses (returns ``None``) when the system is ill-conditioned and callers
+fall back to the SVD-backed :func:`fit_ols`.
 """
 
 from __future__ import annotations
@@ -12,6 +22,12 @@ import dataclasses
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Condition-number limit of the (intercept-augmented) Gram matrix beyond
+#: which :func:`solve_gram` declines to solve.  cond(XᵀX) ≈ cond(X)², so
+#: 1e10 corresponds to a design condition of ~1e5 — comfortably inside the
+#: regime where the Cholesky solution matches lstsq to ~1e-8.
+GRAM_CONDITION_LIMIT = 1e10
 
 
 @dataclasses.dataclass
@@ -74,6 +90,86 @@ def fit_ols(
         rhs = targets * root
 
     solution, *_ = np.linalg.lstsq(augmented, rhs, rcond=None)
+    return LinearFit(
+        intercept=float(solution[0]),
+        coefficients=solution[1:].copy(),
+        column_names=tuple(column_names),
+    )
+
+
+def accumulate_gram(
+    design: np.ndarray,
+    targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normal-equation contributions ``(AᵀWA, AᵀWy)`` of a design block.
+
+    ``A`` is the intercept-augmented design ``[1 | design]``; ``W`` the
+    diagonal weight matrix (identity when ``weights`` is ``None``).  The
+    returned pair is additive over disjoint row blocks: accumulating the
+    whole dataset once and keeping per-application blocks lets a
+    leave-one-application-out sweep realize each fit as
+    ``G_total - G_val + (w - 1) * G_train`` instead of re-reducing all
+    rows per application.
+    """
+    design = np.asarray(design, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if design.ndim != 2:
+        raise ValueError(f"design must be 2-D, got shape {design.shape}")
+    n = design.shape[0]
+    if len(targets) != n:
+        raise ValueError(f"{n} rows but {len(targets)} targets")
+    augmented = np.column_stack([np.ones(n), design])
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        if len(weights) != n:
+            raise ValueError(f"{n} rows but {len(weights)} weights")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        weighted = augmented * weights[:, None]
+    else:
+        weighted = augmented
+    gram = weighted.T @ augmented
+    moment = weighted.T @ targets
+    # Symmetrize: floating-point accumulation order makes G asymmetric at
+    # the ulp level, and the Cholesky solver assumes exact symmetry.
+    return (gram + gram.T) * 0.5, moment
+
+
+def solve_gram(
+    gram: np.ndarray,
+    moment: np.ndarray,
+    column_names: Optional[Sequence[str]] = None,
+    condition_limit: float = GRAM_CONDITION_LIMIT,
+) -> Optional[LinearFit]:
+    """Solve normal equations ``G b = m`` from :func:`accumulate_gram`.
+
+    Returns ``None`` — the caller should fall back to :func:`fit_ols` on
+    the actual rows — when the system is not symmetric positive definite
+    (Cholesky fails) or its condition number exceeds ``condition_limit``.
+    """
+    gram = np.asarray(gram, dtype=float)
+    moment = np.asarray(moment, dtype=float)
+    p = gram.shape[0]
+    if gram.shape != (p, p) or moment.shape != (p,):
+        raise ValueError(
+            f"gram must be square and match moment, got {gram.shape} / {moment.shape}"
+        )
+    if p == 0:
+        raise ValueError("gram must include at least the intercept row")
+    if column_names is None:
+        column_names = tuple(f"c{j}" for j in range(p - 1))
+    if len(column_names) != p - 1:
+        raise ValueError("column_names length must match design width")
+    if not (np.isfinite(gram).all() and np.isfinite(moment).all()):
+        return None
+    try:
+        np.linalg.cholesky(gram)
+    except np.linalg.LinAlgError:
+        return None
+    if np.linalg.cond(gram) > condition_limit:
+        return None
+    solution = np.linalg.solve(gram, moment)
     return LinearFit(
         intercept=float(solution[0]),
         coefficients=solution[1:].copy(),

@@ -7,15 +7,19 @@ Usage::
     python -m repro.experiments all  [--scale small|bench|full]
 
 Each experiment prints the rows/series of the corresponding paper table or
-figure.  Results are cached under ``.cache/``, so re-running is cheap.
+figure and writes the same report to ``reports/<id>.txt`` (an ignored
+output directory; override with ``--report-dir`` or ``$REPRO_REPORT_DIR``).
+Results are cached under ``.cache/``, so re-running is cheap.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.common import SCALES, current_scale
 
@@ -75,6 +79,13 @@ def main(argv=None) -> int:
         default=None,
         help="also render the experiment's figures as SVG files into DIR",
     )
+    parser.add_argument(
+        "--report-dir",
+        metavar="DIR",
+        default=os.environ.get("REPRO_REPORT_DIR", "reports"),
+        help="directory for per-experiment report files (default: reports/, "
+        "git-ignored; override with $REPRO_REPORT_DIR; '-' disables)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -89,11 +100,19 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
 
+    report_dir = None if args.report_dir == "-" else Path(args.report_dir)
+    if report_dir is not None:
+        report_dir.mkdir(parents=True, exist_ok=True)
+
     for key in keys:
         start = time.time()
         report = run_experiment(key, scale, args.svg)
-        print(f"\n[{key} @ scale={scale.name}, {time.time() - start:.1f}s]")
+        header = f"[{key} @ scale={scale.name}, {time.time() - start:.1f}s]"
+        print(f"\n{header}")
         print(report)
+        if report_dir is not None:
+            path = report_dir / f"{key.replace('-', '_')}.txt"
+            path.write_text(f"{header}\n{report}\n")
     return 0
 
 

@@ -308,7 +308,7 @@ def run_genetic_search(
         return search.run(dataset, gens, initial_population=initial)
 
     key = (
-        f"ga-v12|{scale.name}|{seed}|{gens}|{len(dataset)}|{tag}|"
+        f"ga-v13|{scale.name}|{seed}|{gens}|{len(dataset)}|{tag}|"
         f"{hashlib.sha256(dataset.targets().tobytes()).hexdigest()[:16]}"
     )
     return cached(key, build)

@@ -8,10 +8,12 @@ from hypothesis import strategies as st
 from repro.core import (
     BoxplotStats,
     absolute_percentage_errors,
+    accumulate_gram,
     fit_ols,
     median_error,
     pearson_correlation,
     r_squared,
+    solve_gram,
     spearman_correlation,
 )
 
@@ -93,6 +95,98 @@ class TestFitOLS:
         targets = design @ beta + 1.5
         fit = fit_ols(design, targets)
         assert np.allclose(fit.predict(design), targets, atol=1e-8)
+
+
+class TestGramPath:
+    """The normal-equation formulation used by the fitness engine."""
+
+    def test_matches_lstsq_unweighted(self):
+        rng = np.random.default_rng(0)
+        design = rng.normal(size=(60, 4))
+        targets = 1.5 + design @ rng.normal(size=4) + rng.normal(0, 0.1, 60)
+        ref = fit_ols(design, targets)
+        fit = solve_gram(*accumulate_gram(design, targets))
+        assert fit is not None
+        assert fit.intercept == pytest.approx(ref.intercept, abs=1e-9)
+        assert np.allclose(fit.coefficients, ref.coefficients, atol=1e-9)
+
+    def test_matches_lstsq_weighted(self):
+        rng = np.random.default_rng(1)
+        design = rng.normal(size=(50, 3))
+        targets = design @ np.array([1.0, -2.0, 0.5]) + rng.normal(0, 0.2, 50)
+        weights = rng.uniform(0.25, 4.0, size=50)
+        ref = fit_ols(design, targets, weights=weights)
+        fit = solve_gram(*accumulate_gram(design, targets, weights))
+        assert fit is not None
+        assert fit.intercept == pytest.approx(ref.intercept, abs=1e-8)
+        assert np.allclose(fit.coefficients, ref.coefficients, atol=1e-8)
+
+    def test_zero_weight_rows_ignored(self):
+        """Rows with zero weight contribute nothing to the Gram system —
+        the fit equals the fit on the surviving rows alone."""
+        rng = np.random.default_rng(2)
+        design = rng.normal(size=(40, 2))
+        targets = design @ np.array([2.0, -1.0]) + rng.normal(0, 0.05, 40)
+        weights = np.ones(40)
+        weights[25:] = 0.0
+        fit = solve_gram(*accumulate_gram(design, targets, weights))
+        sub = solve_gram(*accumulate_gram(design[:25], targets[:25]))
+        assert fit is not None and sub is not None
+        assert fit.intercept == pytest.approx(sub.intercept, abs=1e-9)
+        assert np.allclose(fit.coefficients, sub.coefficients, atol=1e-9)
+
+    def test_rank_deficient_declined(self):
+        """Duplicated columns make the Gram matrix singular; solve_gram
+        signals the caller to take the lstsq fallback instead of solving."""
+        column = np.arange(12.0)
+        design = np.column_stack([column, column])
+        gram, moment = accumulate_gram(design, column)
+        assert solve_gram(gram, moment) is None
+
+    def test_ill_conditioned_declined(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=30)
+        design = np.column_stack([base, base + 1e-9 * rng.normal(size=30)])
+        gram, moment = accumulate_gram(design, base)
+        assert solve_gram(gram, moment, condition_limit=1e10) is None
+
+    def test_non_finite_declined(self):
+        gram = np.array([[np.nan, 0.0], [0.0, 1.0]])
+        assert solve_gram(gram, np.zeros(2)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accumulate_gram(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            accumulate_gram(np.zeros((3, 1)), np.zeros(2))
+        with pytest.raises(ValueError):
+            accumulate_gram(
+                np.zeros((3, 1)), np.zeros(3), weights=np.array([-1.0, 1, 1])
+            )
+        with pytest.raises(ValueError):
+            solve_gram(np.eye(3), np.zeros(2))
+        with pytest.raises(ValueError):
+            solve_gram(np.eye(2), np.zeros(2), column_names=("a", "b"))
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 5),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_gram_matches_lstsq(self, seed, p, weighted):
+        """On well-conditioned data the Cholesky solution of the normal
+        equations matches the SVD-backed lstsq fit within tolerance."""
+        rng = np.random.default_rng(seed)
+        n = 30 + 6 * p
+        design = rng.normal(size=(n, p))
+        targets = 0.5 + design @ rng.normal(size=p) + rng.normal(0, 0.1, n)
+        weights = rng.uniform(0.5, 2.0, size=n) if weighted else None
+        ref = fit_ols(design, targets, weights=weights)
+        fit = solve_gram(*accumulate_gram(design, targets, weights))
+        assert fit is not None  # gaussian designs of this shape are well-conditioned
+        assert fit.intercept == pytest.approx(ref.intercept, abs=1e-7)
+        assert np.allclose(fit.coefficients, ref.coefficients, atol=1e-7)
 
 
 class TestRSquared:
