@@ -62,9 +62,12 @@ from repro.core.significance import (
     transform_histogram,
 )
 from repro.core.serialize import (
+    SCHEMA_VERSION,
+    ModelFormatError,
     load_model,
     model_from_dict,
     model_to_dict,
+    payload_checksum,
     save_model,
 )
 
@@ -118,8 +121,11 @@ __all__ = [
     "modal_transforms",
     "table3_rows",
     "transform_histogram",
+    "SCHEMA_VERSION",
+    "ModelFormatError",
     "load_model",
     "model_from_dict",
     "model_to_dict",
+    "payload_checksum",
     "save_model",
 ]

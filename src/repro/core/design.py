@@ -147,7 +147,23 @@ class DesignMatrixBuilder:
         self._require_fitted()
         if dataset.variable_names != self._variable_names:
             raise ValueError("dataset variables differ from the fitted ones")
-        matrix = dataset.matrix()
+        return self.transform_matrix(dataset.matrix())
+
+    def transform_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Design matrix for a raw ``(n, n_variables)`` feature array.
+
+        Columns must be ordered like :attr:`variable_names` (software
+        variables first, then hardware).  This is the serving hot path: it
+        skips :class:`ProfileDataset` construction and its per-record
+        validation entirely.
+        """
+        self._require_fitted()
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._variable_names):
+            raise ValueError(
+                f"feature matrix must be (n, {len(self._variable_names)}), "
+                f"got {matrix.shape}"
+            )
         name_to_col = {name: i for i, name in enumerate(self._variable_names)}
 
         blocks = []
@@ -160,7 +176,7 @@ class DesignMatrixBuilder:
             vb = self._linear_views[b].stabilized(matrix[:, name_to_col[b]])
             blocks.append((va * vb)[:, None])
         if not blocks:
-            return np.empty((len(dataset), 0))
+            return np.empty((matrix.shape[0], 0))
         return np.column_stack(blocks)
 
     def fit_transform(self, dataset: ProfileDataset) -> np.ndarray:

@@ -12,6 +12,8 @@ software variables routinely appear only once the design is constructed
 
 from __future__ import annotations
 
+import math
+
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -33,6 +35,20 @@ RESPONSE_TRANSFORMS = {
     "log": (np.log, np.exp),
     "sqrt": (np.sqrt, lambda z: z**2),
 }
+
+
+def _stable_exp(z: np.ndarray) -> np.ndarray:
+    """Batch-size-invariant exp.
+
+    ``np.exp`` dispatches to SIMD kernels whose lanes round differently
+    from the scalar fallback used for remainder elements, so the same value
+    can produce last-ulp-different results depending on its position and
+    the array length.  The serving layer guarantees micro-batched
+    predictions are bit-identical to single-row calls, so the response
+    inverse must be computed per element.  math.exp costs ~0.1 µs/element —
+    irrelevant next to design-matrix construction on every predict path.
+    """
+    return np.array([math.exp(v) for v in z], dtype=float)
 
 
 class InferredModel:
@@ -100,17 +116,35 @@ class InferredModel:
 
     def predict(self, dataset: ProfileDataset) -> np.ndarray:
         """Predicted performance for every record in ``dataset``."""
-        design = self._builder.transform(dataset)
+        return self._predict_design(self._builder.transform(dataset))
+
+    def predict_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Predicted performance for a raw ``(n, n_variables)`` feature array.
+
+        Columns must be ordered like the fit-time
+        :attr:`~repro.core.design.DesignMatrixBuilder.variable_names`
+        (software variables first, then hardware).  Bit-identical to
+        :meth:`predict` on a dataset holding the same rows, but skips
+        :class:`ProfileDataset` and :class:`ProfileRecord` construction —
+        this is the serving hot path, where per-request object overhead
+        dominates the actual linear-algebra cost.
+        """
+        return self._predict_design(
+            self._builder.transform_matrix(np.atleast_2d(rows))
+        )
+
+    def _predict_design(self, design: np.ndarray) -> np.ndarray:
         if design.shape[1]:
             design = design[:, self._kept_columns]
         else:
-            design = np.empty((len(dataset), 0))
-        _, inverse = RESPONSE_TRANSFORMS[self.response]
+            design = np.empty((design.shape[0], 0))
         linear = self._fit.predict(design)
         if self.response == "log":
             # Guard exp() against absurd extrapolations from degenerate
             # candidate specs; the genetic search scores them poorly anyway.
             linear = np.clip(linear, -50.0, 50.0)
+            return _stable_exp(linear)
+        _, inverse = RESPONSE_TRANSFORMS[self.response]
         return inverse(linear)
 
     def predict_one(self, x: np.ndarray, y: np.ndarray) -> float:
@@ -138,6 +172,12 @@ class InferredModel:
         }
 
     # -- introspection -----------------------------------------------------------------
+
+    @property
+    def variable_names(self) -> tuple:
+        """Fit-time variable order (software first, then hardware) —
+        the column order :meth:`predict_rows` expects."""
+        return self._builder.variable_names
 
     @property
     def coefficients(self) -> Dict[str, float]:

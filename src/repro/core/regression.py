@@ -39,12 +39,19 @@ class LinearFit:
     column_names: Tuple[str, ...]
 
     def predict(self, design: np.ndarray) -> np.ndarray:
-        design = np.asarray(design, dtype=float)
+        # C-contiguous + einsum instead of a bare `@`: BLAS gemv/gemm block
+        # differently with the row count, and einsum's reduction order
+        # follows memory layout, so either a stride change or a batch-size
+        # change could perturb the last ulp.  The serving layer micro-batches
+        # concurrent requests and guarantees batched responses are
+        # bit-identical to sequential single-row calls, which requires a
+        # batch-size- and layout-invariant reduction.
+        design = np.ascontiguousarray(design, dtype=float)
         if design.ndim != 2 or design.shape[1] != len(self.coefficients):
             raise ValueError(
                 f"design must be (n, {len(self.coefficients)}), got {design.shape}"
             )
-        return self.intercept + design @ self.coefficients
+        return self.intercept + np.einsum("ij,j->i", design, self.coefficients)
 
     def named_coefficients(self) -> dict:
         return dict(zip(self.column_names, self.coefficients.tolist()))

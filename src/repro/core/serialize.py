@@ -12,6 +12,7 @@ are made; this module round-trips it through plain JSON.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Union
@@ -23,7 +24,32 @@ from repro.core.model import InferredModel
 from repro.core.regression import LinearFit
 from repro.core.transforms import FittedTransform, TransformKind
 
-FORMAT_VERSION = 1
+#: Current on-disk schema.  Version 1 lacked ``schema_version``/``checksum``
+#: (it used a bare ``format`` field); version 2 adds both so deployment
+#: surfaces (the model registry, remote loaders) can reject stale or
+#: corrupted payloads with a precise error instead of an opaque KeyError.
+SCHEMA_VERSION = 2
+
+#: Backwards-compatible alias for the pre-registry name.
+FORMAT_VERSION = SCHEMA_VERSION
+
+
+class ModelFormatError(ValueError):
+    """A serialized model payload is unreadable.
+
+    Raised on schema-version mismatch, checksum failure (bit rot, truncated
+    writes), invalid JSON, or structurally missing fields.
+    """
+
+
+def payload_checksum(body: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of the payload body.
+
+    The body excludes the ``schema_version`` and ``checksum`` envelope keys
+    themselves, so the digest is stable under envelope evolution.
+    """
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _transform_to_dict(fitted: FittedTransform) -> dict:
@@ -83,12 +109,15 @@ def spec_from_dict(payload: dict) -> ModelSpec:
 
 
 def model_to_dict(model: InferredModel) -> dict:
-    """Serialize a fitted model to a JSON-compatible dict."""
+    """Serialize a fitted model to a JSON-compatible dict.
+
+    The result carries a ``schema_version`` and a SHA-256 ``checksum`` over
+    the body; :func:`model_from_dict` verifies both.
+    """
     builder = model._builder
     if not builder.is_fitted:
         raise ValueError("cannot serialize an unfitted model")
-    return {
-        "format": FORMAT_VERSION,
+    body = {
         "spec": spec_to_dict(model.spec),
         "response": model.response,
         "auto_stabilize": builder.auto_stabilize,
@@ -109,15 +138,67 @@ def model_to_dict(model: InferredModel) -> dict:
             "column_names": list(model._fit.column_names),
         },
     }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "checksum": payload_checksum(body),
+        **body,
+    }
+
+
+def _payload_version(payload: dict) -> int:
+    """Schema version of a payload, handling the legacy v1 ``format`` key."""
+    if "schema_version" in payload:
+        return payload["schema_version"]
+    if payload.get("format") == 1:
+        return 1
+    raise ModelFormatError(
+        "payload carries no schema_version (and no legacy 'format' field); "
+        "not a serialized InferredModel"
+    )
 
 
 def model_from_dict(payload: dict) -> InferredModel:
-    """Reconstruct a fitted model from :func:`model_to_dict` output."""
-    if payload.get("format") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported model format {payload.get('format')!r}; "
-            f"expected {FORMAT_VERSION}"
+    """Reconstruct a fitted model from :func:`model_to_dict` output.
+
+    Verifies the schema version and (for schema >= 2) the body checksum,
+    raising :class:`ModelFormatError` with a precise message on mismatch or
+    corruption.  Legacy version-1 payloads (no checksum) still load.
+    """
+    if not isinstance(payload, dict):
+        raise ModelFormatError(
+            f"expected a payload dict, got {type(payload).__name__}"
         )
+    version = _payload_version(payload)
+    if version not in (1, SCHEMA_VERSION):
+        raise ModelFormatError(
+            f"unsupported model schema version {version!r}; "
+            f"this build reads versions 1 and {SCHEMA_VERSION}"
+        )
+    if version >= 2:
+        stated = payload.get("checksum")
+        body = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("schema_version", "checksum")
+        }
+        actual = payload_checksum(body)
+        if stated != actual:
+            raise ModelFormatError(
+                f"model payload checksum mismatch: stated {stated!r}, "
+                f"computed {actual!r} — the payload is corrupted or was "
+                "edited without re-sealing"
+            )
+    try:
+        return _model_from_body(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ModelFormatError):
+            raise
+        raise ModelFormatError(
+            f"malformed model payload (schema {version}): {exc!r}"
+        ) from exc
+
+
+def _model_from_body(payload: dict) -> InferredModel:
     spec = spec_from_dict(payload["spec"])
     builder = DesignMatrixBuilder(spec, auto_stabilize=payload["auto_stabilize"])
     builder._variable_names = tuple(payload["variable_names"])
@@ -153,6 +234,13 @@ def save_model(model: InferredModel, path: Union[str, Path]) -> None:
 
 
 def load_model(path: Union[str, Path]) -> InferredModel:
-    """Read a fitted model from a JSON file."""
-    payload = json.loads(Path(path).read_text())
+    """Read a fitted model from a JSON file.
+
+    Raises :class:`ModelFormatError` on invalid JSON, schema mismatch, or
+    checksum failure.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ModelFormatError(f"{path}: not valid JSON ({exc})") from exc
     return model_from_dict(payload)

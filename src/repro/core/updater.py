@@ -155,6 +155,33 @@ class ModelManager:
     def pending_profiles(self, application: str) -> int:
         return len(self._pending.get(application, []))
 
+    @property
+    def pending_applications(self) -> tuple:
+        """Applications with queued-but-unabsorbed profiles."""
+        return tuple(self._pending)
+
+    def needs_update(self, outcome: ObservationOutcome) -> bool:
+        """Would this observation trigger a re-specification?
+
+        The decision :meth:`observe` takes when ``auto_update=True``,
+        exposed separately so serving layers can run :meth:`observe` with
+        ``auto_update=False`` on the request path and defer the expensive
+        genetic update to a background worker.
+        """
+        return (
+            not outcome.accurate
+            and outcome.n_profiles >= self.min_update_profiles
+        )
+
+    def absorb(self, application: str) -> None:
+        """Move an application's pending profiles into the training set.
+
+        Public counterpart of the internal absorption step: callers that
+        deferred an update (``observe(..., auto_update=False)``) absorb the
+        queued evidence themselves immediately before :meth:`update`.
+        """
+        self._absorb(application)
+
     def _absorb(self, application: str) -> None:
         for record in self._pending.pop(application, []):
             self.dataset.add(record)

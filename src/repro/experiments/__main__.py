@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig05 [--scale small|bench|full]
     python -m repro.experiments all  [--scale small|bench|full]
+    python -m repro.experiments serve [--port 7654] [--registry DIR]
 
 Each experiment prints the rows/series of the corresponding paper table or
 figure and writes the same report to ``reports/<id>.txt`` (an ignored
@@ -58,14 +59,91 @@ def run_experiment(key: str, scale, svg_dir=None) -> str:
     return report
 
 
+def serve_main(argv) -> int:
+    """The ``serve`` subcommand: train a model and run the prediction server.
+
+    Boot-straps a demo service (synthetic dataset, short genetic search),
+    publishes the model to the registry, and serves until interrupted or a
+    client sends ``shutdown``.  Point real traffic at it with
+    :class:`repro.serve.ServeClient` or ``python -m repro.serve.client``.
+    """
+    import asyncio
+
+    from repro.serve import BatchConfig, build_service, demo_dataset
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Serve an inferred model over TCP with micro-batching.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654)
+    parser.add_argument(
+        "--registry",
+        default=".cache/registry",
+        help="model registry directory (default: .cache/registry)",
+    )
+    parser.add_argument("--space", default="demo")
+    parser.add_argument("--application", default="suite")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--generations", type=int, default=3, help="bootstrap GA generations"
+    )
+    parser.add_argument(
+        "--population-size", type=int, default=10, help="bootstrap GA population"
+    )
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument(
+        "--max-latency-ms", type=float, default=2.0, help="batching tick length"
+    )
+    args = parser.parse_args(argv)
+
+    print("bootstrapping demo model (genetic search)...", flush=True)
+    server, serving, _ = build_service(
+        demo_dataset(seed=args.seed),
+        args.registry,
+        space=args.space,
+        application=args.application,
+        host=args.host,
+        port=args.port,
+        generations=args.generations,
+        population_size=args.population_size,
+        seed=args.seed,
+        batch_config=BatchConfig(
+            max_batch=args.max_batch,
+            max_latency_s=args.max_latency_ms / 1000.0,
+        ),
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving {args.space}/{args.application} "
+            f"v{server.slot.version} on {args.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            serving.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', or 'list'",
+        help="experiment id (see 'list'), 'all', 'list', or 'serve'",
     )
     parser.add_argument(
         "--scale",
@@ -91,6 +169,7 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for key, (_, description) in EXPERIMENTS.items():
             print(f"  {key:<10s} {description}")
+        print("  serve      Online prediction server (repro.serve; own flags, try 'serve --help')")
         return 0
 
     scale = current_scale(args.scale)

@@ -1,0 +1,229 @@
+"""Micro-batching: coalesce concurrent single-profile predictions.
+
+One prediction is a handful of transform evaluations plus a dot product —
+far cheaper than the per-request overhead of parsing, scheduling, and
+replying.  The :class:`MicroBatcher` amortizes the numpy dispatch cost by
+draining concurrently queued requests into one vectorized
+``InferredModel.predict_rows`` call per *tick*:
+
+* a tick opens when the first request arrives and closes after
+  ``max_latency_s`` or as soon as ``max_batch`` requests are queued,
+  whichever comes first;
+* the whole batch is predicted against **one** model snapshot, so every
+  response in a tick is served by a single (model, version) pair — the
+  invariant the live-update swap protocol relies on;
+* the queue is bounded: submissions beyond ``queue_depth`` fail fast with
+  :class:`QueueFullError` (surfaced as HTTP-style 429 by the server) rather
+  than building unbounded latency;
+* per-request timeouts cancel the waiter, not the batch.
+
+Because ``predict_rows`` ends in a batch-size-invariant reduction (see
+``LinearFit.predict``), a batched response is bit-identical to the
+sequential ``predict_one`` call for the same row, for *any* interleaving of
+arrivals — property-tested in ``tests/test_serve_batching.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class QueueFullError(RuntimeError):
+    """The prediction queue is at capacity; shed load (429)."""
+
+
+class RequestTimeout(RuntimeError):
+    """A queued request waited longer than its timeout."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchConfig:
+    """Tuning knobs of the batching tick."""
+
+    max_batch: int = 64          #: flush as soon as this many are queued
+    max_latency_s: float = 0.002  #: ... or this long after the first arrival
+    queue_depth: int = 1024      #: bound on queued-but-unflushed requests
+    request_timeout_s: float = 10.0  #: per-request wait budget
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_latency_s < 0:
+            raise ValueError("max_latency_s must be >= 0")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+
+
+@dataclasses.dataclass
+class BatchStats:
+    """Occupancy accounting for the benchmark report."""
+
+    ticks: int = 0
+    requests: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    #: batch-size -> number of ticks that flushed exactly that many rows
+    occupancy: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    def record_flush(self, size: int) -> None:
+        self.ticks += 1
+        self.requests += size
+        self.occupancy[size] = self.occupancy.get(size, 0) + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        mean = self.requests / self.ticks if self.ticks else 0.0
+        return {
+            "ticks": self.ticks,
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "mean_occupancy": round(mean, 3),
+            "occupancy_histogram": {
+                str(size): count for size, count in sorted(self.occupancy.items())
+            },
+        }
+
+
+class ModelSlot:
+    """Atomic holder of the live ``(version, model)`` snapshot.
+
+    The pair is swapped by rebinding one attribute, which is atomic under
+    the GIL; readers grab the tuple once and never see a torn
+    version/model combination.
+    """
+
+    def __init__(self, model=None, version: int = 0):
+        self._snapshot: Optional[Tuple[int, object]] = (
+            None if model is None else (version, model)
+        )
+
+    def get(self) -> Tuple[int, object]:
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise RuntimeError("no model published to the serving slot yet")
+        return snapshot
+
+    def swap(self, version: int, model) -> None:
+        current = self._snapshot
+        if current is not None and version <= current[0]:
+            raise ValueError(
+                f"model versions must increase: live={current[0]}, new={version}"
+            )
+        self._snapshot = (version, model)
+
+    @property
+    def version(self) -> int:
+        return self.get()[0]
+
+
+class MicroBatcher:
+    """Coalesces awaitable single-row predictions into vectorized calls."""
+
+    def __init__(self, slot: ModelSlot, config: Optional[BatchConfig] = None):
+        self.slot = slot
+        self.config = config or BatchConfig()
+        self.stats = BatchStats()
+        self._queue: Deque[Tuple[np.ndarray, asyncio.Future]] = deque()
+        self._wakeup = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        self._closed = True
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        for _, future in self._queue:
+            if not future.done():
+                future.set_exception(RuntimeError("batcher closed"))
+        self._queue.clear()
+
+    # -- submission ----------------------------------------------------------------
+
+    async def submit(self, row: np.ndarray) -> Tuple[float, int]:
+        """Queue one feature row; returns ``(prediction, model_version)``.
+
+        Raises :class:`QueueFullError` when the queue is at capacity and
+        :class:`RequestTimeout` when the configured wait budget elapses.
+        """
+        if self._closed:
+            raise RuntimeError("batcher closed")
+        if len(self._queue) >= self.config.queue_depth:
+            self.stats.rejected += 1
+            raise QueueFullError(
+                f"prediction queue at capacity ({self.config.queue_depth})"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._queue.append((np.asarray(row, dtype=float), future))
+        self._wakeup.set()
+        try:
+            return await asyncio.wait_for(future, self.config.request_timeout_s)
+        except asyncio.TimeoutError:
+            self.stats.timed_out += 1
+            raise RequestTimeout(
+                f"prediction not served within {self.config.request_timeout_s}s"
+            ) from None
+
+    # -- the tick ------------------------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._queue and not self._closed:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            if self._closed:
+                return
+            # A tick: the first arrival opens a window; keep accumulating
+            # until the window closes or the batch is full.
+            deadline = loop.time() + self.config.max_latency_s
+            while len(self._queue) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if self._closed:
+                    break
+            self._flush()
+
+    def _flush(self) -> None:
+        take = min(len(self._queue), self.config.max_batch)
+        if take == 0:
+            return
+        batch = [self._queue.popleft() for _ in range(take)]
+        # Drop requests whose waiter already gave up (timeout/cancel); they
+        # must not occupy batch rows.
+        live = [(row, fut) for row, fut in batch if not fut.done()]
+        if not live:
+            return
+        version, model = self.slot.get()
+        rows = np.vstack([row for row, _ in live])
+        try:
+            predictions = model.predict_rows(rows)
+        except Exception as exc:  # surface per-request, keep the loop alive
+            for _, future in live:
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError(f"prediction failed: {exc}")
+                    )
+            return
+        self.stats.record_flush(len(live))
+        for (_, future), prediction in zip(live, predictions):
+            if not future.done():
+                future.set_result((float(prediction), version))

@@ -1,0 +1,345 @@
+"""Clients for the prediction server, plus the load generator.
+
+* :class:`ServeClient` — a small blocking client over a plain socket.
+  One instance per thread; used by the quickstart, the CLI smoke
+  round-trip, and anything that just wants an answer.
+* :class:`AsyncServeClient` — asyncio streams, one in-flight request per
+  connection; the load generator opens one per concurrent worker.
+* :class:`LoadGenerator` — drives a server at configurable concurrency
+  and collects the latency distribution, throughput, and the server-side
+  batch-occupancy histogram for ``BENCH_serve.json``.
+
+Command-line smoke usage (used by CI against a detached server)::
+
+    python -m repro.serve.client --port 7654 --smoke
+    python -m repro.serve.client --port 7654 --load 16 --requests 2000
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import socket
+import struct
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_LENGTH = struct.Struct(">I")
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+    def __init__(self, payload: dict):
+        super().__init__(payload.get("error", "server error"))
+        self.status = payload.get("status", 500)
+        self.payload = payload
+
+
+def _encode(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _LENGTH.pack(len(body)) + body
+
+
+# -- blocking client -------------------------------------------------------------------
+
+
+class ServeClient:
+    """Blocking length-prefixed-JSON client.  Not thread-safe; one per thread."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7654, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, payload: dict) -> dict:
+        self._sock.sendall(_encode(payload))
+        header = self._recv_exact(_LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        reply = json.loads(self._recv_exact(length).decode("utf-8"))
+        if not reply.get("ok", False):
+            raise ServeError(reply)
+        return reply
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self._sock.recv(n)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    # -- convenience ops ---------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"})["ok"]
+
+    def info(self) -> dict:
+        return self.request({"op": "info"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def predict(self, x: Sequence[float], y: Sequence[float]) -> dict:
+        return self.request({"op": "predict", "x": list(x), "y": list(y)})
+
+    def predict_row(self, row: Sequence[float]) -> dict:
+        return self.request({"op": "predict", "row": list(row)})
+
+    def predict_batch(self, rows) -> dict:
+        rows = np.asarray(rows, dtype=float)
+        return self.request({"op": "predict_batch", "rows": rows.tolist()})
+
+    def observe(self, application: str, profiles: Sequence[dict]) -> dict:
+        return self.request(
+            {"op": "observe", "application": application, "profiles": list(profiles)}
+        )
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+
+def wait_for_server(
+    host: str, port: int, timeout: float = 20.0, interval: float = 0.1
+) -> ServeClient:
+    """Poll until the server accepts a ping; returns a connected client."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            client = ServeClient(host, port)
+            client.ping()
+            return client
+        except (OSError, ServeError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise TimeoutError(f"server at {host}:{port} not ready: {last_error}")
+
+
+# -- async client ----------------------------------------------------------------------
+
+
+class AsyncServeClient:
+    """Asyncio client; one outstanding request per connection."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "AsyncServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def request(self, payload: dict, check: bool = True) -> dict:
+        self._writer.write(_encode(payload))
+        await self._writer.drain()
+        header = await self._reader.readexactly(_LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        reply = json.loads((await self._reader.readexactly(length)).decode("utf-8"))
+        if check and not reply.get("ok", False):
+            raise ServeError(reply)
+        return reply
+
+
+# -- load generation -------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """What one load-generation run measured."""
+
+    requests: int
+    ok: int
+    failed: int
+    duration_s: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    model_versions: List[int]
+    server_stats: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def percentiles_ms(latencies_s: Sequence[float]) -> Dict[str, float]:
+    if not latencies_s:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    arr = np.asarray(latencies_s, dtype=float) * 1000.0
+    return {
+        "p50": round(float(np.percentile(arr, 50)), 3),
+        "p95": round(float(np.percentile(arr, 95)), 3),
+        "p99": round(float(np.percentile(arr, 99)), 3),
+        "mean": round(float(arr.mean()), 3),
+        "max": round(float(arr.max()), 3),
+    }
+
+
+class LoadGenerator:
+    """Drives concurrent single-profile predictions at a server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        rows: np.ndarray,
+        concurrency: int = 16,
+    ):
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or not len(rows):
+            raise ValueError("rows must be a non-empty 2-D array")
+        self.host = host
+        self.port = port
+        self.rows = rows
+        self.concurrency = concurrency
+
+    def run(self, total_requests: int) -> LoadReport:
+        """Issue ``total_requests`` predictions and report the distribution."""
+        return asyncio.run(self._run(total_requests))
+
+    async def _run(self, total_requests: int) -> LoadReport:
+        counter = {"next": 0, "ok": 0, "failed": 0}
+        latencies: List[float] = []
+        versions: set = set()
+
+        async def worker() -> None:
+            client = await AsyncServeClient(self.host, self.port).connect()
+            try:
+                while True:
+                    i = counter["next"]
+                    if i >= total_requests:
+                        return
+                    counter["next"] = i + 1
+                    row = self.rows[i % len(self.rows)]
+                    start = time.perf_counter()
+                    try:
+                        reply = await client.request(
+                            {"op": "predict", "row": row.tolist()}
+                        )
+                    except ServeError:
+                        counter["failed"] += 1
+                        continue
+                    latencies.append(time.perf_counter() - start)
+                    versions.add(reply["model_version"])
+                    counter["ok"] += 1
+            finally:
+                await client.close()
+
+        start = time.perf_counter()
+        await asyncio.gather(*(worker() for _ in range(self.concurrency)))
+        duration = time.perf_counter() - start
+
+        stats_client = await AsyncServeClient(self.host, self.port).connect()
+        try:
+            server_stats = await stats_client.request({"op": "stats"})
+        finally:
+            await stats_client.close()
+
+        done = counter["ok"] + counter["failed"]
+        return LoadReport(
+            requests=done,
+            ok=counter["ok"],
+            failed=counter["failed"],
+            duration_s=round(duration, 4),
+            throughput_rps=round(done / duration, 1) if duration else 0.0,
+            latency_ms=percentiles_ms(latencies),
+            model_versions=sorted(versions),
+            server_stats={
+                k: v for k, v in server_stats.items() if k not in ("ok",)
+            },
+        )
+
+
+# -- CLI -------------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="Smoke/load client for the repro prediction server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="ping, info, one predict, one predict_batch; exit non-zero on failure",
+    )
+    parser.add_argument(
+        "--load",
+        type=int,
+        metavar="CONCURRENCY",
+        default=0,
+        help="run the load generator at this concurrency",
+    )
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument(
+        "--shutdown", action="store_true", help="stop the server when done"
+    )
+    args = parser.parse_args(argv)
+
+    client = wait_for_server(args.host, args.port)
+    info = client.info()
+    print(f"server up: model v{info['model_version']}, "
+          f"{len(info['variables'])} variables, {info['n_terms']} terms")
+
+    rng = np.random.default_rng(0)
+    n_vars = len(info["variables"])
+    rows = np.abs(rng.normal(loc=1.0, scale=0.3, size=(64, n_vars))) + 0.1
+
+    status = 0
+    if args.smoke:
+        single = client.predict_row(rows[0].tolist())
+        batch = client.predict_batch(rows[:8])
+        same = single["prediction"] == batch["predictions"][0]
+        print(f"predict: {single['prediction']:.6g} "
+              f"(batch head matches: {same})")
+        if not same:
+            status = 1
+    if args.load:
+        report = LoadGenerator(
+            args.host, args.port, rows, concurrency=args.load
+        ).run(args.requests)
+        print(json.dumps(report.to_dict(), indent=2))
+        if report.failed:
+            status = 1
+    if args.shutdown:
+        try:
+            client.shutdown()
+        except (ServeError, ConnectionError):
+            pass
+    client.close()
+    return status
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Live model updates: wiring §3.2–§3.3 into the serving loop.
+
+:class:`ServingManager` owns the feedback path of the service.  The
+prediction path never touches it — predictions read the
+:class:`~repro.serve.batching.ModelSlot` snapshot and nothing else — so a
+re-specification in flight can never block or fail a prediction.
+
+The flow mirrors the paper's inductive update policy:
+
+1. ``observe`` frames deliver profiles of a (possibly new) application.
+   The accuracy check (``ModelManager.observe(auto_update=False)``) runs in
+   a worker thread; the asyncio loop stays free to serve predictions.
+2. Accurate applications are absorbed silently.  Inaccurate ones accrue
+   pending profiles until the hysteresis threshold (10–20 profiles, §3.3).
+3. Once the threshold trips, ONE background update runs: absorb the
+   evidence, re-run the genetic heuristic (which fans out across processes
+   via ``repro.parallel`` when ``REPRO_WORKERS`` is set), refit.
+4. The new model is published to the registry first (durable), then
+   swapped into the slot (visible).  The swap is a single atomic snapshot
+   rebind: every in-flight batch keeps the version it started with, every
+   later batch sees the new one — zero dropped requests, old-or-new only.
+
+Swap safety and version monotonicity are asserted by
+``tests/test_serve_manager.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.dataset import ProfileRecord
+from repro.core.updater import ModelManager, ObservationOutcome
+from repro.serve.batching import ModelSlot
+from repro.serve.registry import ModelKey, ModelRegistry
+
+
+@dataclasses.dataclass
+class UpdateStats:
+    observations: int = 0
+    absorbed: int = 0
+    updates_started: int = 0
+    updates_completed: int = 0
+    updates_failed: int = 0
+    last_published_version: int = 0
+
+
+class ServingManager:
+    """Bridges ``observe`` traffic to ``ModelManager`` and the model slot."""
+
+    def __init__(
+        self,
+        manager: ModelManager,
+        registry: ModelRegistry,
+        key: ModelKey,
+        slot: ModelSlot,
+    ):
+        self.manager = manager
+        self.registry = registry
+        self.key = key
+        self.slot = slot
+        self.stats = UpdateStats()
+        # One worker: updates and accuracy checks both mutate the
+        # ModelManager, so they serialize on this executor; the _lock
+        # additionally keeps the observe/decide step atomic per request.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-update"
+        )
+        self._lock = asyncio.Lock()
+        self._update_task: Optional[asyncio.Task] = None
+
+    # -- bootstrap -----------------------------------------------------------------
+
+    def publish_initial(self, metadata: Optional[Dict[str, object]] = None) -> int:
+        """Publish the manager's trained model and load it into the slot."""
+        if self.manager.model is None:
+            raise RuntimeError("train() the ModelManager before serving it")
+        receipt = self.registry.publish(
+            self.key, self.manager.model, metadata=metadata
+        )
+        self.slot.swap(receipt.version, self.manager.model)
+        self.stats.last_published_version = receipt.version
+        return receipt.version
+
+    # -- observe path --------------------------------------------------------------
+
+    async def handle_observe(self, request: dict) -> dict:
+        """Serve one ``observe`` frame; may schedule a background update."""
+        application = request["application"]
+        profiles = [
+            ProfileRecord(
+                application,
+                np.asarray(p["x"], dtype=float),
+                np.asarray(p["y"], dtype=float),
+                float(p["z"]),
+            )
+            for p in request["profiles"]
+        ]
+        if not profiles:
+            raise ValueError("observe needs at least one profile")
+
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            outcome: ObservationOutcome = await loop.run_in_executor(
+                self._executor,
+                lambda: self.manager.observe(profiles, auto_update=False),
+            )
+            self.stats.observations += 1
+            if outcome.accurate:
+                self.stats.absorbed += 1
+            update_scheduled = False
+            if self.manager.needs_update(outcome) and not self.update_in_progress:
+                self.manager.absorb(application)
+                self._update_task = loop.create_task(self._run_update())
+                self.stats.updates_started += 1
+                update_scheduled = True
+
+        return {
+            "ok": True,
+            "application": outcome.application,
+            "median_error": outcome.median_error,
+            "steady_state_error": outcome.steady_state_error,
+            "accurate": outcome.accurate,
+            "n_profiles": outcome.n_profiles,
+            "update_scheduled": update_scheduled,
+            "model_version": self.slot.version,
+        }
+
+    # -- the background update -----------------------------------------------------
+
+    @property
+    def update_in_progress(self) -> bool:
+        return self._update_task is not None and not self._update_task.done()
+
+    async def wait_for_update(self) -> None:
+        """Block until any in-flight update settles (test/shutdown hook)."""
+        if self._update_task is not None:
+            await asyncio.shield(self._update_task)
+
+    async def _run_update(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            # The genetic re-specification (§3.3) — minutes of CPU at paper
+            # scale — runs off-loop; predictions continue on the old
+            # snapshot for its whole duration.
+            model = await loop.run_in_executor(self._executor, self.manager.update)
+            receipt = self.registry.publish(
+                self.key,
+                model,
+                metadata={
+                    "trigger": "online-update",
+                    "steady_state_error": self.manager.steady_state_error,
+                    "n_records": len(self.manager.dataset),
+                },
+            )
+            # Durable first, visible second: a crash between the two leaves
+            # a valid registry entry and a stale-but-correct live model.
+            self.slot.swap(receipt.version, model)
+            self.stats.last_published_version = receipt.version
+            self.stats.updates_completed += 1
+        except Exception:
+            self.stats.updates_failed += 1
+            raise
+
+    # -- reporting -----------------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, object]:
+        return {
+            "observations": self.stats.observations,
+            "absorbed": self.stats.absorbed,
+            "updates_started": self.stats.updates_started,
+            "updates_completed": self.stats.updates_completed,
+            "updates_failed": self.stats.updates_failed,
+            "update_in_progress": self.update_in_progress,
+            "last_published_version": self.stats.last_published_version,
+            "pending": {
+                app: self.manager.pending_profiles(app)
+                for app in self.manager.pending_applications
+            },
+        }
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False)

@@ -1,0 +1,279 @@
+"""Versioned model registry: the durable half of the serving subsystem.
+
+Layered on :mod:`repro.core.serialize`: every published model is one JSON
+file whose body is exactly ``model_to_dict`` output (schema version and
+checksum included), wrapped in a small registry envelope recording the
+(space, application) key, the version number, and free-form metadata.
+
+Layout on disk::
+
+    <root>/
+      <space>__<application>/        one directory per registry key
+        v000001.json                 immutable, content-checksummed
+        v000002.json
+        LATEST                       text file holding the latest version
+
+Guarantees:
+
+* **Atomic publish** — payloads are written to a temp file in the same
+  directory and linked into place with ``os.link`` (fails rather than
+  overwrites on a version collision, so concurrent publishers race safely);
+  the ``LATEST`` pointer is swapped with ``os.replace``.  A reader never
+  observes a half-written model.
+* **Validated load** — the payload round-trips through
+  :func:`~repro.core.serialize.model_from_dict`, which verifies the schema
+  version and SHA-256 checksum; corruption surfaces as
+  :class:`~repro.core.serialize.ModelFormatError`, not garbage predictions.
+* **LRU cache** — deserialized models are kept in a bounded in-process
+  cache keyed by (key, version), so repeated lookups on the serving path
+  cost a dict hit, not a JSON parse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import os
+import re
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.model import InferredModel
+from repro.core.serialize import (
+    ModelFormatError,
+    model_from_dict,
+    model_to_dict,
+)
+
+#: Envelope schema of the registry entry files (distinct from the model
+#: payload schema, which is owned by ``core/serialize.py``).
+REGISTRY_SCHEMA = 1
+
+_VERSION_FILE = re.compile(r"^v(\d{6})\.json$")
+_KEY_TOKEN = re.compile(r"[^A-Za-z0-9._-]+")
+#: Distinguishes temp files of concurrent publishers within one process.
+_TMP_COUNTER = itertools.count()
+
+
+class RegistryError(RuntimeError):
+    """A registry operation failed (unknown key, missing version, ...)."""
+
+
+def _slug(token: str) -> str:
+    cleaned = _KEY_TOKEN.sub("-", token.strip())
+    if not cleaned:
+        raise ValueError(f"registry key token {token!r} is empty after sanitizing")
+    return cleaned
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelKey:
+    """A registry key: which space the model covers, for which application
+    mix it was trained."""
+
+    space: str
+    application: str
+
+    @property
+    def slug(self) -> str:
+        return f"{_slug(self.space)}__{_slug(self.application)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class PublishedModel:
+    """Receipt for one published model version."""
+
+    key: ModelKey
+    version: int
+    path: Path
+    created_unix: float
+    metadata: Dict[str, object]
+
+
+class ModelRegistry:
+    """Durable, versioned store of fitted :class:`InferredModel` objects."""
+
+    def __init__(self, root: Union[str, Path], cache_size: int = 8):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[str, int], InferredModel]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- publishing ----------------------------------------------------------------
+
+    def publish(
+        self,
+        key: ModelKey,
+        model: InferredModel,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> PublishedModel:
+        """Atomically publish ``model`` as the next version under ``key``.
+
+        Returns the receipt; the new version becomes ``latest`` for the key.
+        """
+        entry_dir = self.root / key.slug
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        body = model_to_dict(model)
+
+        while True:
+            version = self._next_version(entry_dir)
+            payload = {
+                "registry_schema": REGISTRY_SCHEMA,
+                "key": {"space": key.space, "application": key.application},
+                "version": version,
+                "created_unix": time.time(),
+                "metadata": dict(metadata or {}),
+                "model": body,
+            }
+            final = entry_dir / f"v{version:06d}.json"
+            tmp = entry_dir / (
+                f".tmp-v{version:06d}-{os.getpid()}"
+                f"-{threading.get_ident()}-{next(_TMP_COUNTER)}.json"
+            )
+            tmp.write_text(json.dumps(payload, indent=2))
+            try:
+                # link-then-unlink instead of replace: linking onto an
+                # existing name fails, so two publishers racing for the
+                # same version number cannot silently clobber each other.
+                os.link(tmp, final)
+            except FileExistsError:
+                tmp.unlink()
+                continue
+            tmp.unlink()
+            break
+
+        self._point_latest(entry_dir, version)
+        receipt = PublishedModel(
+            key=key,
+            version=version,
+            path=final,
+            created_unix=payload["created_unix"],
+            metadata=payload["metadata"],
+        )
+        with self._lock:
+            self._cache_put((key.slug, version), model)
+        return receipt
+
+    # -- lookup --------------------------------------------------------------------
+
+    def keys(self) -> List[ModelKey]:
+        """All keys with at least one published version."""
+        out = []
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir() or "__" not in entry.name:
+                continue
+            if not self.versions_dir(entry):
+                continue
+            space, application = entry.name.split("__", 1)
+            out.append(ModelKey(space, application))
+        return out
+
+    def versions(self, key: ModelKey) -> List[int]:
+        """Published version numbers for ``key``, ascending."""
+        return self.versions_dir(self.root / key.slug)
+
+    @staticmethod
+    def versions_dir(entry_dir: Path) -> List[int]:
+        if not entry_dir.is_dir():
+            return []
+        found = []
+        for name in os.listdir(entry_dir):
+            match = _VERSION_FILE.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, key: ModelKey) -> int:
+        """Latest published version for ``key`` (``LATEST`` pointer, falling
+        back to a directory scan if the pointer is missing or stale)."""
+        entry_dir = self.root / key.slug
+        pointer = entry_dir / "LATEST"
+        versions = self.versions(key)
+        if not versions:
+            raise RegistryError(f"no versions published for {key.slug!r}")
+        if pointer.exists():
+            try:
+                stated = int(pointer.read_text().strip())
+            except ValueError:
+                stated = -1
+            if stated in versions:
+                return stated
+        return versions[-1]
+
+    def load(
+        self, key: ModelKey, version: Optional[int] = None
+    ) -> Tuple[InferredModel, int]:
+        """Load ``key`` at ``version`` (``None`` means latest).
+
+        Returns ``(model, version)``.  Validates the registry envelope and
+        the model payload's schema version + checksum; corrupt entries raise
+        :class:`~repro.core.serialize.ModelFormatError`.
+        """
+        if version is None:
+            version = self.latest_version(key)
+        cache_key = (key.slug, version)
+        with self._lock:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                return cached, version
+
+        path = self.root / key.slug / f"v{version:06d}.json"
+        if not path.exists():
+            raise RegistryError(
+                f"{key.slug!r} has no version {version} "
+                f"(published: {self.versions(key) or 'none'})"
+            )
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ModelFormatError(f"{path}: not valid JSON ({exc})") from exc
+        if payload.get("registry_schema") != REGISTRY_SCHEMA:
+            raise ModelFormatError(
+                f"{path}: registry envelope schema "
+                f"{payload.get('registry_schema')!r}, expected {REGISTRY_SCHEMA}"
+            )
+        model = model_from_dict(payload["model"])
+        with self._lock:
+            self._cache_put(cache_key, model)
+        return model, version
+
+    def entry_metadata(self, key: ModelKey, version: int) -> Dict[str, object]:
+        """The envelope metadata stored with one published version."""
+        path = self.root / key.slug / f"v{version:06d}.json"
+        if not path.exists():
+            raise RegistryError(f"{key.slug!r} has no version {version}")
+        return json.loads(path.read_text()).get("metadata", {})
+
+    # -- internals -----------------------------------------------------------------
+
+    def _next_version(self, entry_dir: Path) -> int:
+        existing = self.versions_dir(entry_dir)
+        return (existing[-1] + 1) if existing else 1
+
+    def _point_latest(self, entry_dir: Path, version: int) -> None:
+        pointer = entry_dir / "LATEST"
+        tmp = entry_dir / (
+            f".tmp-LATEST-{os.getpid()}"
+            f"-{threading.get_ident()}-{next(_TMP_COUNTER)}"
+        )
+        tmp.write_text(f"{version}\n")
+        os.replace(tmp, pointer)
+
+    def _cache_put(self, cache_key: Tuple[str, int], model: InferredModel) -> None:
+        # Caller holds self._lock.
+        self._cache[cache_key] = model
+        self._cache.move_to_end(cache_key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._cache), "capacity": self.cache_size}

@@ -1,0 +1,286 @@
+"""The online prediction server.
+
+A stdlib-only asyncio TCP server speaking length-prefixed JSON frames
+(4-byte big-endian length, then a UTF-8 JSON body; see
+:data:`MAX_FRAME_BYTES`).  One frame in, one frame out, per request, over a
+persistent connection.
+
+Operations (``{"op": ...}`` request, ``{"ok": true/false, ...}`` reply):
+
+``ping``            liveness probe.
+``info``            live model version, variable order, term count.
+``predict``         one profile (``x`` + ``y`` arrays *or* a flat ``row``)
+                    through the micro-batcher; replies with ``prediction``
+                    and the ``model_version`` that served it.
+``predict_batch``   a caller-assembled batch of rows, predicted against a
+                    single model snapshot (bypasses the batcher).
+``observe``         profiles of a (possibly new) application — forwarded to
+                    the online update manager when one is attached.
+``stats``           request counters, batch-occupancy histogram, model
+                    version, update counters.
+``shutdown``        graceful stop (used by the CLI smoke flow and tests).
+
+Error replies carry HTTP-flavored ``status`` codes: 400 malformed, 404
+unknown op, 408 request timeout, 429 queue full, 503 no model loaded,
+500 anything else.  Backpressure is load-shedding, not buffering: when the
+batcher queue is full the server answers 429 immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import struct
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.serve.batching import (
+    BatchConfig,
+    MicroBatcher,
+    ModelSlot,
+    QueueFullError,
+    RequestTimeout,
+)
+
+#: Frame-size sanity bound; a registry payload is ~10 KiB, so 16 MiB leaves
+#: ample room for large observe/predict_batch bodies while bounding memory.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one length-prefixed JSON frame; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = await reader.readexactly(length)
+    return json.loads(body.decode("utf-8"))
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    writer.write(_LENGTH.pack(len(body)) + body)
+
+
+@dataclasses.dataclass
+class ServerStats:
+    requests: int = 0
+    predictions: int = 0
+    errors: int = 0
+    connections: int = 0
+
+
+class PredictionServer:
+    """Serves one live model (one registry key) over TCP."""
+
+    def __init__(
+        self,
+        slot: ModelSlot,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_config: Optional[BatchConfig] = None,
+        manager=None,
+    ):
+        self.slot = slot
+        self.host = host
+        self.port = port
+        self.manager = manager  # Optional[ServingManager], wired by serve.manager
+        self.batcher = MicroBatcher(slot, batch_config)
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped = asyncio.Event()
+        self._conn_tasks: set = set()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or a ``shutdown`` op) is called."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+        await self._shutdown()
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections sit blocked in read_frame; cancel them
+        # so the loop drains cleanly instead of abandoning coroutines.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.batcher.close()
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except (ValueError, json.JSONDecodeError) as exc:
+                    write_frame(
+                        writer, {"ok": False, "status": 400, "error": str(exc)}
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                write_frame(writer, response)
+                await writer.drain()
+                if request.get("op") == "shutdown":
+                    break
+        except asyncio.CancelledError:
+            # Server shutdown cancels idle keep-alive readers; absorb the
+            # cancellation so the task finishes cleanly instead of tripping
+            # asyncio.streams' done-callback with a CancelledError.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    # -- dispatch ------------------------------------------------------------------
+
+    async def _dispatch(self, request: dict) -> dict:
+        self.stats.requests += 1
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "info":
+                return self._op_info()
+            if op == "stats":
+                return self._op_stats()
+            if op == "predict":
+                return await self._op_predict(request)
+            if op == "predict_batch":
+                return self._op_predict_batch(request)
+            if op == "observe":
+                return await self._op_observe(request)
+            if op == "shutdown":
+                self.stop()
+                return {"ok": True, "op": "shutdown"}
+            self.stats.errors += 1
+            return {"ok": False, "status": 404, "error": f"unknown op {op!r}"}
+        except QueueFullError as exc:
+            self.stats.errors += 1
+            return {"ok": False, "status": 429, "error": str(exc)}
+        except RequestTimeout as exc:
+            self.stats.errors += 1
+            return {"ok": False, "status": 408, "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            self.stats.errors += 1
+            return {"ok": False, "status": 400, "error": f"bad request: {exc}"}
+        except RuntimeError as exc:
+            self.stats.errors += 1
+            status = 503 if "no model" in str(exc) else 500
+            return {"ok": False, "status": status, "error": str(exc)}
+
+    # -- operations ----------------------------------------------------------------
+
+    @staticmethod
+    def _request_row(request: dict, n_variables: int) -> np.ndarray:
+        if "row" in request:
+            row = np.asarray(request["row"], dtype=float)
+        else:
+            row = np.concatenate(
+                [
+                    np.asarray(request["x"], dtype=float),
+                    np.asarray(request["y"], dtype=float),
+                ]
+            )
+        if row.ndim != 1 or row.shape[0] != n_variables:
+            raise ValueError(
+                f"expected {n_variables} feature values, got shape {row.shape}"
+            )
+        if not np.isfinite(row).all():
+            raise ValueError("non-finite feature values")
+        return row
+
+    def _op_info(self) -> dict:
+        version, model = self.slot.get()
+        return {
+            "ok": True,
+            "model_version": version,
+            "variables": list(model.variable_names),
+            "n_terms": model.n_terms,
+            "response": model.response,
+        }
+
+    async def _op_predict(self, request: dict) -> dict:
+        _, model = self.slot.get()
+        row = self._request_row(request, len(model.variable_names))
+        prediction, version = await self.batcher.submit(row)
+        self.stats.predictions += 1
+        return {"ok": True, "prediction": prediction, "model_version": version}
+
+    def _op_predict_batch(self, request: dict) -> dict:
+        version, model = self.slot.get()
+        rows = np.asarray(request["rows"], dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != len(model.variable_names):
+            raise ValueError(
+                f"rows must be (n, {len(model.variable_names)}), "
+                f"got shape {rows.shape}"
+            )
+        if not np.isfinite(rows).all():
+            raise ValueError("non-finite feature values")
+        predictions = model.predict_rows(rows)
+        self.stats.predictions += len(predictions)
+        return {
+            "ok": True,
+            "predictions": [float(p) for p in predictions],
+            "model_version": version,
+        }
+
+    async def _op_observe(self, request: dict) -> dict:
+        if self.manager is None:
+            return {
+                "ok": False,
+                "status": 501,
+                "error": "server runs without an online update manager",
+            }
+        return await self.manager.handle_observe(request)
+
+    def _op_stats(self) -> dict:
+        payload: Dict[str, object] = {
+            "ok": True,
+            "requests": self.stats.requests,
+            "predictions": self.stats.predictions,
+            "errors": self.stats.errors,
+            "connections": self.stats.connections,
+            "model_version": self.slot.version,
+            "batching": self.batcher.stats.to_dict(),
+        }
+        if self.manager is not None:
+            payload["updates"] = self.manager.stats_dict()
+        return payload

@@ -1,0 +1,74 @@
+"""Run a :class:`PredictionServer` on a background thread.
+
+Tests, benchmarks, and the blocking CLI client all need a live server
+without owning an event loop; :class:`ServerThread` hosts one loop on a
+daemon thread and exposes the bound port plus a clean stop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.serve.server import PredictionServer
+
+
+class ServerThread:
+    """Owns an event loop thread running one server's lifecycle."""
+
+    def __init__(self, server: PredictionServer):
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._done = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("server thread did not come up")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._loop.close()
+            self._done.set()
+
+    async def _serve(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and not self._done.is_set():
+            self._loop.call_soon_threadsafe(self.server.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

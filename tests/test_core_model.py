@@ -124,6 +124,65 @@ class TestPredict:
         assert np.isfinite(value)
 
 
+class TestPredictRows:
+    """predict_rows: the serving hot path must match predict exactly."""
+
+    def _model(self, ds, **kwargs):
+        spec = full_spec(ds, interactions=[("x1", "y1")], **kwargs)
+        return InferredModel.fit(spec, ds)
+
+    def test_bit_identical_to_predict(self, synthetic_dataset):
+        model = self._model(synthetic_dataset)
+        rows = synthetic_dataset.matrix()
+        assert (
+            model.predict_rows(rows) == model.predict(synthetic_dataset)
+        ).all()
+
+    def test_bit_identical_with_spline_and_cubic(self):
+        ds = make_synthetic_dataset(n_per_app=60, nonlinear=True)
+        spec = ModelSpec(
+            transforms={
+                "x1": TransformKind.SPLINE,
+                "x2": TransformKind.CUBIC,
+                "y1": TransformKind.QUADRATIC,
+                "y2": TransformKind.LINEAR,
+            },
+            interactions=frozenset({("x2", "y2")}),
+        )
+        model = InferredModel.fit(spec, ds)
+        assert (model.predict_rows(ds.matrix()) == model.predict(ds)).all()
+
+    def test_single_row_matches_batch_row(self, synthetic_dataset):
+        """Batch-size invariance: row i of a batch == that row alone."""
+        model = self._model(synthetic_dataset)
+        rows = synthetic_dataset.matrix()[:16]
+        batch = model.predict_rows(rows)
+        singles = np.array(
+            [model.predict_rows(rows[i : i + 1])[0] for i in range(len(rows))]
+        )
+        assert (batch == singles).all()
+
+    def test_matches_predict_one(self, synthetic_dataset):
+        model = self._model(synthetic_dataset)
+        r = synthetic_dataset.records[3]
+        row = np.concatenate([r.x, r.y])
+        assert model.predict_rows(row[None, :])[0] == model.predict_one(r.x, r.y)
+
+    def test_one_dimensional_input_promoted(self, synthetic_dataset):
+        model = self._model(synthetic_dataset)
+        row = synthetic_dataset.matrix()[0]
+        assert model.predict_rows(row).shape == (1,)
+
+    def test_wrong_width_rejected(self, synthetic_dataset):
+        model = self._model(synthetic_dataset)
+        with pytest.raises(ValueError, match="feature matrix"):
+            model.predict_rows(np.ones((3, 7)))
+
+    def test_variable_names_exposed(self, synthetic_dataset):
+        model = self._model(synthetic_dataset)
+        assert model.variable_names == synthetic_dataset.variable_names
+
+
 class TestIntrospection:
     def test_transform_summary_buckets(self, synthetic_dataset):
         spec = ModelSpec(

@@ -1,0 +1,126 @@
+"""Schema-version and checksum validation of serialized models."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InferredModel,
+    ModelFormatError,
+    ModelSpec,
+    SCHEMA_VERSION,
+    TransformKind,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    payload_checksum,
+    save_model,
+)
+
+from tests.conftest import make_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    ds = make_synthetic_dataset()
+    spec = ModelSpec(
+        transforms={
+            "x1": TransformKind.LINEAR,
+            "x2": TransformKind.QUADRATIC,
+            "y1": TransformKind.LINEAR,
+            "y2": TransformKind.EXCLUDED,
+        },
+        interactions=frozenset({("x1", "y1")}),
+    )
+    return ds, InferredModel.fit(spec, ds)
+
+
+class TestEnvelope:
+    def test_payload_carries_schema_and_checksum(self, fitted):
+        _, model = fitted
+        payload = model_to_dict(model)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        body = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("schema_version", "checksum")
+        }
+        assert payload["checksum"] == payload_checksum(body)
+
+    def test_roundtrip_still_identical(self, fitted):
+        ds, model = fitted
+        clone = model_from_dict(model_to_dict(model))
+        assert (clone.predict(ds) == model.predict(ds)).all()
+
+    def test_legacy_v1_payload_loads(self, fitted):
+        ds, model = fitted
+        payload = model_to_dict(model)
+        del payload["schema_version"]
+        del payload["checksum"]
+        payload["format"] = 1
+        clone = model_from_dict(payload)
+        assert np.allclose(clone.predict(ds), model.predict(ds))
+
+
+class TestRejection:
+    def test_checksum_mismatch(self, fitted):
+        _, model = fitted
+        payload = model_to_dict(model)
+        payload["fit"]["intercept"] += 1e-3  # bit rot
+        with pytest.raises(ModelFormatError, match="checksum mismatch"):
+            model_from_dict(payload)
+
+    def test_unknown_schema_version(self, fitted):
+        _, model = fitted
+        payload = model_to_dict(model)
+        payload["schema_version"] = 999
+        with pytest.raises(ModelFormatError, match="unsupported model schema"):
+            model_from_dict(payload)
+
+    def test_missing_version_markers(self):
+        with pytest.raises(ModelFormatError, match="no schema_version"):
+            model_from_dict({"spec": {}})
+
+    def test_non_dict_payload(self):
+        with pytest.raises(ModelFormatError, match="expected a payload dict"):
+            model_from_dict([1, 2, 3])
+
+    def test_structurally_broken_payload_is_not_a_keyerror(self, fitted):
+        """The registry depends on a clear error, not an opaque KeyError."""
+        _, model = fitted
+        payload = model_to_dict(model)
+        del payload["spec"]
+        body = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("schema_version", "checksum")
+        }
+        payload["checksum"] = payload_checksum(body)  # re-seal
+        with pytest.raises(ModelFormatError, match="malformed model payload"):
+            model_from_dict(payload)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{not json")
+        with pytest.raises(ModelFormatError, match="not valid JSON"):
+            load_model(path)
+
+    def test_truncated_file(self, fitted, tmp_path):
+        _, model = fitted
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ModelFormatError):
+            load_model(path)
+
+    def test_corrupted_file_checksum(self, fitted, tmp_path):
+        _, model = fitted
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        payload = json.loads(path.read_text())
+        payload["response"] = "identity" if payload["response"] != "identity" else "log"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelFormatError, match="checksum mismatch"):
+            load_model(path)

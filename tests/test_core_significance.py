@@ -130,7 +130,8 @@ class TestSerialization:
         import json
 
         payload = json.loads(path.read_text())
-        assert payload["format"] == 1
+        assert payload["schema_version"] == 2
+        assert "checksum" in payload
 
     def test_dict_is_json_compatible(self):
         import json

@@ -1,0 +1,175 @@
+"""Micro-batching equivalence and queue discipline.
+
+The central property: for ANY interleaving of request arrivals and any
+batch-size/latency configuration, every micro-batched response is
+bit-identical to the sequential ``predict_one`` call for the same row.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InferredModel, ModelSpec, TransformKind
+from repro.serve import BatchConfig, MicroBatcher, ModelSlot, QueueFullError
+from repro.serve.bootstrap import demo_dataset
+
+N_X = 3  # demo dataset layout: 3 software + 2 hardware variables
+N_Y = 2
+
+_MODEL = None
+
+
+def served_model() -> InferredModel:
+    global _MODEL
+    if _MODEL is None:
+        ds = demo_dataset(n_apps=3, n_per_app=25, seed=7)
+        spec = ModelSpec(
+            transforms={
+                "x1": TransformKind.LINEAR,
+                "x2": TransformKind.QUADRATIC,
+                "x3": TransformKind.SPLINE,
+                "y1": TransformKind.LINEAR,
+                "y2": TransformKind.LINEAR,
+            },
+            interactions=frozenset({("x1", "y1"), ("x2", "y2")}),
+        )
+        _MODEL = InferredModel.fit(spec, ds)
+    return _MODEL
+
+
+def expected(row: np.ndarray) -> float:
+    return served_model().predict_one(row[:N_X], row[N_X:])
+
+
+feature = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+row_strategy = st.lists(feature, min_size=N_X + N_Y, max_size=N_X + N_Y).map(
+    lambda vals: np.asarray(vals, dtype=float)
+)
+# An interleaving: waves of concurrent arrivals, optionally separated by a
+# pause longer than the batching tick (so ticks close between waves).
+wave_strategy = st.lists(
+    st.tuples(
+        st.lists(row_strategy, min_size=1, max_size=6),
+        st.booleans(),  # pause after this wave?
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestBatchedEquivalence:
+    @given(waves=wave_strategy, max_batch=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_any_interleaving_bit_identical(self, waves, max_batch):
+        model = served_model()
+        config = BatchConfig(max_batch=max_batch, max_latency_s=0.001)
+
+        async def scenario():
+            slot = ModelSlot(model, version=1)
+            batcher = MicroBatcher(slot, config)
+            batcher.start()
+            try:
+                tasks = []
+                for rows, pause in waves:
+                    tasks.extend(
+                        asyncio.ensure_future(batcher.submit(row))
+                        for row in rows
+                    )
+                    # Let the submissions actually enqueue ...
+                    await asyncio.sleep(0)
+                    if pause:  # ... and optionally let the tick close.
+                        await asyncio.sleep(0.003)
+                return await asyncio.gather(*tasks)
+            finally:
+                await batcher.close()
+
+        results = asyncio.run(scenario())
+        flat_rows = [row for rows, _ in waves for row in rows]
+        assert len(results) == len(flat_rows)
+        for row, (prediction, version) in zip(flat_rows, results):
+            assert version == 1
+            assert prediction == expected(row), (
+                f"batched {prediction!r} != sequential {expected(row)!r} "
+                f"for row {row!r}"
+            )
+
+    def test_saturated_queue_batches_fill_to_max(self):
+        model = served_model()
+        config = BatchConfig(max_batch=4, max_latency_s=0.001)
+
+        async def scenario():
+            slot = ModelSlot(model, version=1)
+            batcher = MicroBatcher(slot, config)
+            rows = [np.ones(N_X + N_Y) * (0.1 + 0.01 * i) for i in range(16)]
+            tasks = [asyncio.ensure_future(batcher.submit(r)) for r in rows]
+            batcher.start()
+            results = await asyncio.gather(*tasks)
+            await batcher.close()
+            return results, batcher.stats
+
+        results, stats = asyncio.run(scenario())
+        assert stats.occupancy == {4: 4}  # 16 queued-before-start → 4 full ticks
+        for (prediction, _), row in zip(
+            results, [np.ones(N_X + N_Y) * (0.1 + 0.01 * i) for i in range(16)]
+        ):
+            assert prediction == expected(row)
+
+
+class TestQueueDiscipline:
+    def test_queue_full_rejects(self):
+        model = served_model()
+        config = BatchConfig(max_batch=2, max_latency_s=0.01, queue_depth=4)
+
+        async def scenario():
+            slot = ModelSlot(model, version=1)
+            batcher = MicroBatcher(slot, config)  # never started: queue only fills
+            row = np.ones(N_X + N_Y)
+            tasks = [asyncio.ensure_future(batcher.submit(row)) for _ in range(4)]
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError):
+                await batcher.submit(row)
+            assert batcher.stats.rejected == 1
+            for t in tasks:
+                t.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        asyncio.run(scenario())
+
+    def test_timed_out_requests_do_not_occupy_batch_rows(self):
+        model = served_model()
+        config = BatchConfig(
+            max_batch=8, max_latency_s=0.005, request_timeout_s=0.001
+        )
+
+        async def scenario():
+            slot = ModelSlot(model, version=1)
+            batcher = MicroBatcher(slot, config)
+            row = np.ones(N_X + N_Y)
+            # Submit without the batcher running: the waiter times out first.
+            task = asyncio.ensure_future(batcher.submit(row))
+            await asyncio.sleep(0.01)
+            batcher.start()
+            await asyncio.sleep(0.02)
+            await batcher.close()
+            with pytest.raises(Exception):
+                task.result()
+            return batcher.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.timed_out == 1
+        assert stats.requests == 0  # the dead request was dropped, not predicted
+
+    def test_model_slot_rejects_non_monotonic_versions(self):
+        model = served_model()
+        slot = ModelSlot(model, version=3)
+        with pytest.raises(ValueError, match="must increase"):
+            slot.swap(3, model)
+        with pytest.raises(ValueError, match="must increase"):
+            slot.swap(2, model)
+        slot.swap(4, model)
+        assert slot.version == 4

@@ -1,0 +1,176 @@
+"""Live-update swap safety.
+
+Requests issued during a model update must never observe a half-published
+model: every response is produced by exactly the (version, model) pair it
+reports — old or new, nothing in between — and published versions increase
+monotonically with zero failed requests across the swap.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import InferredModel, ModelSpec, TransformKind
+from repro.serve import (
+    BatchConfig,
+    MicroBatcher,
+    ModelKey,
+    ModelRegistry,
+    ModelSlot,
+)
+from repro.serve.bootstrap import build_service, demo_dataset, outlier_profiles
+
+N_VARS = 5
+
+
+def _fit_variant(seed: int, kind: TransformKind) -> InferredModel:
+    ds = demo_dataset(n_apps=3, n_per_app=25, seed=seed)
+    spec = ModelSpec(
+        transforms={
+            "x1": kind,
+            "x2": TransformKind.LINEAR,
+            "x3": TransformKind.LINEAR,
+            "y1": TransformKind.LINEAR,
+            "y2": TransformKind.LINEAR,
+        },
+        interactions=frozenset({("x1", "y1")}),
+    )
+    return InferredModel.fit(spec, ds)
+
+
+class TestSlotSwapDuringTraffic:
+    def test_every_response_consistent_with_its_version(self):
+        """Hammer the batcher while the slot swaps v1→v2→v3 mid-stream."""
+        models = {
+            1: _fit_variant(1, TransformKind.LINEAR),
+            2: _fit_variant(2, TransformKind.QUADRATIC),
+            3: _fit_variant(3, TransformKind.SPLINE),
+        }
+        rng = np.random.default_rng(5)
+        rows = rng.normal(loc=0.5, scale=1.0, size=(400, N_VARS))
+        # Expected per (version, row): the sequential single-row answer.
+        expected = {
+            v: [m.predict_one(r[:3], r[3:]) for r in rows]
+            for v, m in models.items()
+        }
+
+        async def scenario():
+            slot = ModelSlot(models[1], version=1)
+            batcher = MicroBatcher(
+                slot, BatchConfig(max_batch=16, max_latency_s=0.0005)
+            )
+            batcher.start()
+            completions = []
+
+            async def caller(i):
+                prediction, version = await batcher.submit(rows[i])
+                completions.append(
+                    (asyncio.get_running_loop().time(), i, prediction, version)
+                )
+
+            async def swapper():
+                # Swap on completion counts, not wall time, so the updates
+                # reliably land in the middle of the request stream.
+                while len(completions) < 100:
+                    await asyncio.sleep(0.0005)
+                slot.swap(2, models[2])
+                while len(completions) < 250:
+                    await asyncio.sleep(0.0005)
+                slot.swap(3, models[3])
+
+            tasks = [asyncio.ensure_future(swapper())]
+            for i in range(len(rows)):
+                tasks.append(asyncio.ensure_future(caller(i)))
+                if i % 25 == 0:
+                    await asyncio.sleep(0.001)
+            await asyncio.gather(*tasks)
+            await batcher.close()
+            return completions
+
+        completions = asyncio.run(scenario())
+        assert len(completions) == len(rows)  # zero dropped requests
+
+        versions_seen = set()
+        for _, i, prediction, version in completions:
+            versions_seen.add(version)
+            assert prediction == expected[version][i], (
+                f"row {i} served by v{version} does not match that "
+                f"version's sequential prediction — torn snapshot?"
+            )
+        assert versions_seen <= {1, 2, 3}
+        # The swap actually happened under traffic.
+        assert 3 in versions_seen and len(versions_seen) >= 2
+
+        # Monotonic: in completion-time order, versions never go backwards.
+        ordered = [v for t, _, _, v in sorted(completions)]
+        assert all(a <= b for a, b in zip(ordered, ordered[1:]))
+
+
+class TestServingManagerUpdate:
+    def test_observe_triggers_background_update_and_publish(self, tmp_path):
+        server, serving, registry = build_service(
+            demo_dataset(seed=0),
+            tmp_path / "registry",
+            generations=1,
+            update_generations=1,
+            population_size=6,
+            min_update_profiles=8,
+        )
+        profiles = [
+            {"x": p.x.tolist(), "y": p.y.tolist(), "z": p.z}
+            for p in outlier_profiles("newapp", n=10)
+        ]
+        key = ModelKey("demo", "suite")
+
+        async def scenario():
+            v_before = serving.slot.version
+            reply = await serving.handle_observe(
+                {"application": "newapp", "profiles": profiles}
+            )
+            assert reply["ok"] and not reply["accurate"]
+            assert reply["update_scheduled"]
+            await serving.wait_for_update()
+            return v_before
+
+        v_before = asyncio.run(scenario())
+        serving.close()
+
+        assert serving.slot.version == v_before + 1
+        assert registry.versions(key) == [v_before, v_before + 1]
+        assert serving.stats.updates_completed == 1
+        assert serving.stats.updates_failed == 0
+        # Registry's latest is exactly the live model.
+        published, version = registry.load(key)
+        assert version == serving.slot.version
+        probe = np.full((1, N_VARS), 0.8)
+        assert (
+            published.predict_rows(probe) == serving.slot.get()[1].predict_rows(probe)
+        ).all()
+        meta = registry.entry_metadata(key, version)
+        assert meta["trigger"] == "online-update"
+
+    def test_accurate_application_absorbed_without_update(self, tmp_path):
+        server, serving, registry = build_service(
+            demo_dataset(seed=0),
+            tmp_path / "registry",
+            generations=1,
+            update_generations=1,
+            population_size=6,
+        )
+        # Profiles drawn from an application the model already covers.
+        ds = demo_dataset(n_apps=1, n_per_app=5, seed=0)
+        profiles = [
+            {"x": r.x.tolist(), "y": r.y.tolist(), "z": r.z} for r in ds.records
+        ]
+
+        async def scenario():
+            return await serving.handle_observe(
+                {"application": "app0", "profiles": profiles}
+            )
+
+        reply = asyncio.run(scenario())
+        serving.close()
+        assert reply["accurate"] and not reply["update_scheduled"]
+        assert serving.slot.version == 1
+        assert registry.versions(ModelKey("demo", "suite")) == [1]

@@ -1,0 +1,161 @@
+"""Versioned model registry: publish atomicity, validation, LRU cache."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import InferredModel, ModelFormatError, ModelSpec, TransformKind
+from repro.serve import ModelKey, ModelRegistry, RegistryError
+
+from tests.conftest import make_synthetic_dataset
+
+KEY = ModelKey("general", "spec2006")
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    ds = make_synthetic_dataset()
+    spec = ModelSpec(
+        transforms={
+            "x1": TransformKind.LINEAR,
+            "x2": TransformKind.QUADRATIC,
+            "y1": TransformKind.LINEAR,
+            "y2": TransformKind.EXCLUDED,
+        },
+        interactions=frozenset({("x1", "y1")}),
+    )
+    return ds, InferredModel.fit(spec, ds)
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry", cache_size=2)
+
+
+class TestPublish:
+    def test_versions_ascend(self, registry, fitted):
+        _, model = fitted
+        r1 = registry.publish(KEY, model)
+        r2 = registry.publish(KEY, model)
+        assert (r1.version, r2.version) == (1, 2)
+        assert registry.versions(KEY) == [1, 2]
+        assert registry.latest_version(KEY) == 2
+
+    def test_metadata_stored(self, registry, fitted):
+        _, model = fitted
+        receipt = registry.publish(KEY, model, metadata={"trigger": "bootstrap"})
+        assert registry.entry_metadata(KEY, receipt.version) == {
+            "trigger": "bootstrap"
+        }
+
+    def test_no_temp_residue(self, registry, fitted):
+        _, model = fitted
+        registry.publish(KEY, model)
+        leftovers = [
+            p for p in (registry.root / KEY.slug).iterdir()
+            if p.name.startswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_keys_listed(self, registry, fitted):
+        _, model = fitted
+        registry.publish(KEY, model)
+        registry.publish(ModelKey("spmv", "table4"), model)
+        assert set(registry.keys()) == {KEY, ModelKey("spmv", "table4")}
+
+    def test_concurrent_publishers_never_collide(self, registry, fitted):
+        _, model = fitted
+        errors = []
+
+        def publish_many():
+            try:
+                for _ in range(5):
+                    registry.publish(KEY, model)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publish_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert registry.versions(KEY) == list(range(1, 21))
+
+
+class TestLoad:
+    def test_roundtrip_latest_and_pinned(self, registry, fitted):
+        ds, model = fitted
+        registry.publish(KEY, model)
+        registry.publish(KEY, model)
+        latest, v_latest = registry.load(KEY)
+        pinned, v_pinned = registry.load(KEY, version=1)
+        assert (v_latest, v_pinned) == (2, 1)
+        assert (latest.predict(ds) == model.predict(ds)).all()
+        assert (pinned.predict(ds) == model.predict(ds)).all()
+
+    def test_missing_key(self, registry):
+        with pytest.raises(RegistryError, match="no versions"):
+            registry.load(ModelKey("nope", "nothing"))
+
+    def test_missing_version(self, registry, fitted):
+        _, model = fitted
+        registry.publish(KEY, model)
+        with pytest.raises(RegistryError, match="no version 7"):
+            registry.load(KEY, version=7)
+
+    def test_corrupted_entry_rejected(self, registry, fitted):
+        _, model = fitted
+        receipt = registry.publish(KEY, model)
+        payload = json.loads(receipt.path.read_text())
+        payload["model"]["fit"]["intercept"] += 0.5
+        receipt.path.write_text(json.dumps(payload))
+        registry._cache.clear()
+        with pytest.raises(ModelFormatError, match="checksum mismatch"):
+            registry.load(KEY)
+
+    def test_wrong_envelope_schema_rejected(self, registry, fitted):
+        _, model = fitted
+        receipt = registry.publish(KEY, model)
+        payload = json.loads(receipt.path.read_text())
+        payload["registry_schema"] = 42
+        receipt.path.write_text(json.dumps(payload))
+        registry._cache.clear()
+        with pytest.raises(ModelFormatError, match="envelope schema"):
+            registry.load(KEY)
+
+    def test_stale_latest_pointer_falls_back(self, registry, fitted):
+        _, model = fitted
+        registry.publish(KEY, model)
+        (registry.root / KEY.slug / "LATEST").write_text("99\n")
+        assert registry.latest_version(KEY) == 1
+
+
+class TestCache:
+    def test_cache_hit_returns_same_object(self, registry, fitted):
+        _, model = fitted
+        registry.publish(KEY, model)
+        registry._cache.clear()
+        first, _ = registry.load(KEY)
+        second, _ = registry.load(KEY)
+        assert first is second
+
+    def test_lru_eviction(self, registry, fitted):
+        _, model = fitted
+        for _ in range(3):
+            registry.publish(KEY, model)
+        registry._cache.clear()
+        registry.load(KEY, 1)
+        registry.load(KEY, 2)
+        registry.load(KEY, 3)  # capacity 2: evicts version 1
+        assert registry.cache_info()["entries"] == 2
+        assert (KEY.slug, 1) not in registry._cache
+        assert (KEY.slug, 3) in registry._cache
+
+    def test_publish_seeds_cache(self, registry, fitted):
+        ds, model = fitted
+        receipt = registry.publish(KEY, model)
+        loaded, _ = registry.load(KEY, receipt.version)
+        assert loaded is model
