@@ -7,11 +7,19 @@ first run at a given scale pays the simulation cost, later runs replay.
 
 Select the scale with ``REPRO_SCALE`` (small / bench / full); ``bench`` is
 the default.
+
+Text reports additionally accumulate in ``<report-dir>/bench_reports.txt``
+through the same mechanism the experiment CLI uses (``$REPRO_REPORT_DIR``,
+default ``reports/``, ``-`` disables), so a benchmark session leaves a
+reviewable artifact instead of scrollback.
 """
 
 import pytest
 
 from repro.experiments.common import current_scale
+from repro.obs import default_report_dir
+
+_report_file_truncated = False
 
 
 @pytest.fixture(scope="session")
@@ -19,9 +27,22 @@ def scale():
     return current_scale()
 
 
+def report_path():
+    """``bench_reports.txt`` under the active report dir, or ``None``."""
+    report_dir = default_report_dir()
+    return None if report_dir is None else report_dir / "bench_reports.txt"
+
+
 def print_report(text: str) -> None:
     """Print a figure/table report, visibly separated in pytest output."""
+    global _report_file_truncated
     print()
     print("=" * 78)
     print(text)
     print("=" * 78)
+    path = report_path()
+    if path is not None:
+        mode = "a" if _report_file_truncated else "w"
+        _report_file_truncated = True
+        with open(path, mode) as handle:
+            handle.write(text.rstrip("\n") + "\n" + "=" * 78 + "\n")

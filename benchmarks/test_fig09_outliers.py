@@ -1,6 +1,5 @@
 """Figure 9 — bwaves as a behavioral and performance outlier."""
 
-import numpy as np
 from conftest import print_report
 
 from repro.experiments import fig09_outliers

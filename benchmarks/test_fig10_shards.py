@@ -1,6 +1,5 @@
 """Figure 10 — shard-level leave-one-application-out extrapolation."""
 
-import numpy as np
 from conftest import print_report
 
 from repro.experiments import fig10_shards

@@ -1,6 +1,5 @@
 """Figure 14 — SpMV performance and power model accuracy (all 11 matrices)."""
 
-import numpy as np
 from conftest import print_report
 
 from repro.experiments import fig14_spmv

@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import GeneticSearch, ProfileDataset, ProfileRecord
 from repro.profiling.reuse import stack_distances, stack_distances_reference
 from repro.spmv import SetAssociativeCache
@@ -51,6 +52,9 @@ def _write_report():
         "kernels": RESULTS,
     }
     REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report_dir = obs.default_report_dir()
+    if report_dir is not None and obs.enabled():
+        obs.export_jsonl(report_dir / "metrics_kernels.jsonl", run="kernels")
 
 
 def _best_seconds(fn, reps: int) -> float:

@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.serve import (
     BatchConfig,
     LoadGenerator,
@@ -68,6 +69,9 @@ def _write_report():
         **RESULTS,
     }
     REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report_dir = obs.default_report_dir()
+    if report_dir is not None and obs.enabled():
+        obs.export_jsonl(report_dir / "metrics_serve.jsonl", run="serve")
 
 
 @pytest.fixture(scope="module")

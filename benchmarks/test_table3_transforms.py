@@ -2,7 +2,6 @@
 
 from conftest import print_report
 
-from repro.core.transforms import TransformKind
 from repro.experiments import table3_transforms
 
 

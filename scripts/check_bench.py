@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Compares freshly emitted ``BENCH_*.json`` reports (and, optionally, the
+observability JSONL dumps under ``reports/``) against the committed
+baselines in ``benchmarks/baselines/`` and exits non-zero when any
+performance metric degraded beyond the tolerance.
+
+Metric direction is inferred from the (dotted) metric name:
+
+* **higher is better** — ``speedup``, ``*_per_sec``, ``*_rps``,
+  ``*_hit_rate``, ``mean_batch_occupancy``: fail when the current value
+  drops below ``baseline * (1 - tolerance)``.
+* **lower is better** — ``*_seconds`` and latency percentiles under a
+  ``latency_ms`` block: fail when the current value rises above
+  ``baseline * (1 + tolerance)``.  Tail percentiles (p95/p99) are
+  inherently noisier at smoke request counts, so they get twice the
+  tolerance; ``latency_ms.max`` is a single worst sample and only
+  informational.
+* everything else (counts, versions, miss totals, histograms, and the
+  smoke-scale ``overhead_fraction`` — a ratio of two millisecond-range
+  timings, gated instead by the non-smoke benchmark assertion) is
+  informational and never gates.
+
+A metric present in the baseline but missing from the current report is
+always a failure — a silently dropped benchmark must not pass the gate.
+Improvements never fail, however large.
+
+The default tolerance is 25% — smoke-scale runs on shared CI hardware are
+noisy — and can be overridden with ``--tolerance`` or the
+``REPRO_BENCH_TOLERANCE`` environment variable.
+
+Typical CI invocation, after the three ``REPRO_BENCH_SMOKE=1`` smokes::
+
+    python scripts/check_bench.py \
+        --metrics reports/metrics_kernels.jsonl \
+        --metrics reports/metrics_genetic.jsonl \
+        --metrics reports/metrics_serve.jsonl
+
+which compares every ``BENCH_*.json`` found in ``benchmarks/baselines/``
+against the file of the same name at the repository root, then checks
+each metrics dump exists and recorded at least one non-zero counter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.25
+
+HIGHER_IS_BETTER_SUFFIXES = ("_per_sec", "_rps", "_hit_rate")
+HIGHER_IS_BETTER_KEYS = {"speedup", "mean_batch_occupancy", "throughput_rps"}
+LOWER_IS_BETTER_SUFFIXES = ("_seconds",)
+#: Tail percentiles gate with twice the tolerance (see module docstring).
+TAIL_LATENCY_LEAVES = {"p95", "p99"}
+
+
+def classify(path: str) -> str:
+    """Return ``"higher"``, ``"lower"``, or ``"info"`` for a dotted path."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf in HIGHER_IS_BETTER_KEYS or leaf.endswith(HIGHER_IS_BETTER_SUFFIXES):
+        return "higher"
+    if leaf.endswith(LOWER_IS_BETTER_SUFFIXES):
+        return "lower"
+    if ".latency_ms." in f".{path}." and leaf != "max":
+        return "lower"
+    return "info"
+
+
+def tolerance_for(path: str, tolerance: float) -> float:
+    """Per-metric tolerance: tail latency percentiles get 2x headroom."""
+    if path.rsplit(".", 1)[-1] in TAIL_LATENCY_LEAVES:
+        return tolerance * 2.0
+    return tolerance
+
+
+def flatten(payload, prefix: str = "") -> dict:
+    """Flatten nested dicts to ``{"a.b.c": number}``; non-numbers dropped."""
+    flat: dict = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten(value, path))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[path] = float(value)
+    return flat
+
+
+def compare_reports(
+    baseline: dict, current: dict, tolerance: float, label: str
+) -> list:
+    """Return a list of human-readable failure strings for one report."""
+    failures = []
+    if baseline.get("smoke") != current.get("smoke"):
+        failures.append(
+            f"{label}: smoke={current.get('smoke')} does not match baseline "
+            f"smoke={baseline.get('smoke')} — compare like with like"
+        )
+        return failures
+
+    base_flat = flatten(baseline)
+    cur_flat = flatten(current)
+    for path in sorted(base_flat):
+        direction = classify(path)
+        if direction == "info":
+            continue
+        base = base_flat[path]
+        if path not in cur_flat:
+            failures.append(f"{label}: {path} missing from current report")
+            continue
+        cur = cur_flat[path]
+        if base <= 0:
+            continue  # no meaningful ratio
+        allowed = tolerance_for(path, tolerance)
+        if direction == "higher" and cur < base * (1.0 - allowed):
+            failures.append(
+                f"{label}: {path} degraded {cur:g} < {base:g} "
+                f"(floor {base * (1.0 - allowed):g} at {allowed:.0%})"
+            )
+        elif direction == "lower" and cur > base * (1.0 + allowed):
+            failures.append(
+                f"{label}: {path} degraded {cur:g} > {base:g} "
+                f"(ceiling {base * (1.0 + allowed):g} at {allowed:.0%})"
+            )
+    return failures
+
+
+def check_metrics_jsonl(path: Path) -> list:
+    """A metrics dump must exist, parse, and show non-zero counter work."""
+    label = str(path)
+    if not path.exists():
+        return [f"{label}: metrics dump missing"]
+    rows = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                if line.strip():
+                    rows.append(json.loads(line))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{label}: unreadable metrics dump ({exc})"]
+    if not rows:
+        return [f"{label}: metrics dump is empty"]
+    counters = [r for r in rows if r.get("type") == "counter"]
+    if not any(r.get("value", 0) > 0 for r in counters):
+        return [f"{label}: no counter recorded a non-zero value"]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json reports against committed baselines."
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=(
+            "allowed fractional degradation (default "
+            f"{DEFAULT_TOLERANCE}, or $REPRO_BENCH_TOLERANCE)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="append",
+        type=Path,
+        default=[],
+        help="metrics JSONL dump that must exist with non-zero counters "
+        "(repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(
+            os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)
+        )
+    if tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 2
+
+    failures = []
+    checked = 0
+    for baseline_path in baselines:
+        current_path = args.current_dir / baseline_path.name
+        label = baseline_path.name
+        if not current_path.exists():
+            failures.append(f"{label}: current report {current_path} missing")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        report_failures = compare_reports(baseline, current, tolerance, label)
+        failures.extend(report_failures)
+        gated = sum(
+            1 for p in flatten(baseline) if classify(p) != "info"
+        )
+        checked += gated
+        status = "FAIL" if report_failures else "ok"
+        print(f"[{status}] {label}: {gated} gated metrics "
+              f"(tolerance {tolerance:.0%})")
+
+    for metrics_path in args.metrics:
+        metric_failures = check_metrics_jsonl(metrics_path)
+        failures.extend(metric_failures)
+        status = "FAIL" if metric_failures else "ok"
+        print(f"[{status}] {metrics_path}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark gate failure(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall clear: {checked} gated metrics within {tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

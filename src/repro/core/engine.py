@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.collinearity import prune_design
 from repro.core.dataset import ProfileDataset
 from repro.core.design import ModelSpec
@@ -90,6 +91,10 @@ class ColumnStore:
         self._products: Dict[Tuple[str, str], np.ndarray] = {}
         self.hits = 0
         self.builds = 0
+        # Instrument handles are resolved once per store: no-op singletons
+        # when observability is disabled, so the cache path stays flat.
+        self._obs_hits = obs.counter("engine.column_hits")
+        self._obs_builds = obs.counter("engine.column_builds")
 
     @property
     def n_rows(self) -> int:
@@ -128,8 +133,10 @@ class ColumnStore:
         cached = self._blocks.get(key)
         if cached is not None:
             self.hits += 1
+            self._obs_hits.inc()
             return cached
         self.builds += 1
+        self._obs_builds.inc()
         if kind == TransformKind.EXCLUDED:
             block: Tuple[np.ndarray, Tuple[str, ...]] = (
                 np.empty((self.n_rows, 0)), ()
@@ -157,8 +164,10 @@ class ColumnStore:
         cached = self._products.get(key)
         if cached is not None:
             self.hits += 1
+            self._obs_hits.inc()
             return cached
         self.builds += 1
+        self._obs_builds.inc()
         column = self.stabilized(key[0]) * self.stabilized(key[1])
         self._products[key] = column
         return column
@@ -226,6 +235,10 @@ class FitnessEngine:
         self.gram_fits = 0
         self.lstsq_fallbacks = 0
         self.failed_fits = 0
+        self._obs_specs = obs.counter("engine.specs_evaluated")
+        self._obs_gram = obs.counter("engine.gram_fits")
+        self._obs_lstsq = obs.counter("engine.lstsq_fallbacks")
+        self._obs_failed = obs.counter("engine.failed_fits")
 
     # -- public API ---------------------------------------------------------------
 
@@ -234,6 +247,7 @@ class FitnessEngine:
         if not self.applications:
             raise ValueError("dataset has no applications")
         self.specs_evaluated += 1
+        self._obs_specs.inc()
         prepared = self._prepare(spec)
         per_app = {
             app: self._score_application(app, *prepared)
@@ -311,9 +325,11 @@ class FitnessEngine:
             beta = self._lstsq_fallback(app, augmented, kept_names)
             if beta is None:
                 self.failed_fits += 1
+                self._obs_failed.inc()
                 return FAILED_FITNESS
         else:
             self.gram_fits += 1
+            self._obs_gram.inc()
             beta = np.concatenate([[fit.intercept], fit.coefficients])
         linear = augmented[val_idx] @ beta
         if self.response == "log":
@@ -328,6 +344,7 @@ class FitnessEngine:
     def _lstsq_fallback(self, app, augmented, kept_names) -> Optional[np.ndarray]:
         """The retained reference path: row-level weighted ``lstsq``."""
         self.lstsq_fallbacks += 1
+        self._obs_lstsq.inc()
         train_idx, val_idx = self.splits[app]
         mask = np.ones(self.store.n_rows, dtype=bool)
         mask[val_idx] = False

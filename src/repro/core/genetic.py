@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.chromosome import (
     Chromosome,
     crossover_create_interaction,
@@ -37,7 +38,7 @@ from repro.core.chromosome import (
 )
 from repro.core.dataset import ProfileDataset
 from repro.core.engine import FitnessEngine, evaluate_chunk
-from repro.core.fitness import FitnessResult, derive_app_splits, evaluate_spec
+from repro.core.fitness import FitnessResult, derive_app_splits
 from repro.core.model import InferredModel
 from repro.parallel import parallel_starmap, resolve_workers
 
@@ -141,6 +142,16 @@ class GeneticSearch:
         progress: Optional[Callable[[GenerationRecord], None]] = None,
     ) -> SearchResult:
         """Evolve for ``generations`` and return the final population."""
+        with obs.span("ga.run"):
+            return self._run(dataset, generations, initial_population, progress)
+
+    def _run(
+        self,
+        dataset: ProfileDataset,
+        generations: int,
+        initial_population: Optional[Sequence[Chromosome]],
+        progress: Optional[Callable[[GenerationRecord], None]],
+    ) -> SearchResult:
         names = dataset.variable_names
         n_vars = len(names)
         # One split seed — and therefore one fixed train/validation split
@@ -186,12 +197,16 @@ class GeneticSearch:
                 best_sum_error=fitnesses[0].sum_error,
             )
             history.append(record)
+            obs.counter("ga.generations").inc()
+            obs.gauge("ga.best_fitness").set(record.best_fitness)
+            obs.gauge("ga.mean_fitness").set(record.mean_fitness)
             if progress is not None:
                 progress(record)
             if generation == generations:
                 break
-            population = self._next_generation(population)
-            fitnesses = self._evaluate_population(population, dataset, names)
+            with obs.span("ga.generation"):
+                population = self._next_generation(population)
+                fitnesses = self._evaluate_population(population, dataset, names)
 
         order = np.argsort([f.fitness for f in fitnesses])
         population = [population[i] for i in order]
@@ -251,9 +266,10 @@ class GeneticSearch:
         # luck and elite fitness is stable across generations.  Validation
         # in the experiments is always against independently sampled
         # profiles.
-        if self.evaluator is not None:
-            return self._evaluate_with_callable(population, dataset, names)
-        return self._evaluate_with_engine(population, dataset, names)
+        with obs.span("ga.evaluate_population"):
+            if self.evaluator is not None:
+                return self._evaluate_with_callable(population, dataset, names)
+            return self._evaluate_with_engine(population, dataset, names)
 
     def _evaluate_with_engine(
         self,
@@ -272,6 +288,8 @@ class GeneticSearch:
         self.last_eval_stats["candidates_scored"] += len(population)
         pending = [c for c in dict.fromkeys(population) if c not in memo]
         self.last_eval_stats["memo_hits"] += len(population) - len(pending)
+        obs.counter("ga.candidates_scored").inc(len(population))
+        obs.counter("ga.memo_hits").inc(len(population) - len(pending))
         if pending:
             if self.n_workers <= 1 or len(pending) <= 1:
                 if self._engine is None:
@@ -286,8 +304,14 @@ class GeneticSearch:
                     (dataset, self._split_seed, [c.to_spec(names) for c in chunk])
                     for chunk in chunks
                 ]
+                # collect_metrics ships each chunk's obs snapshot back and
+                # merges them here in chunk order, so engine counters are
+                # identical to the serial run at any worker count.
                 outcomes = parallel_starmap(
-                    evaluate_chunk, jobs, n_workers=self.n_workers
+                    evaluate_chunk,
+                    jobs,
+                    n_workers=self.n_workers,
+                    collect_metrics=True,
                 )
                 by_chromosome: Dict[Chromosome, FitnessResult] = {}
                 for chunk, (chunk_results, chunk_stats) in zip(chunks, outcomes):

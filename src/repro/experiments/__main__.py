@@ -22,6 +22,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.common import SCALES, current_scale
 
 #: Experiment id -> (module name, description).
@@ -46,16 +47,26 @@ EXPERIMENTS = {
 
 
 def run_experiment(key: str, scale, svg_dir=None) -> str:
+    """Run one experiment under phase spans (run / report / render).
+
+    The spans land in the process metrics registry as per-figure phase
+    timings (``span.experiment.<key>.<phase>.*``), which ``main`` exports
+    as JSONL next to the text reports.
+    """
     module_name, _ = EXPERIMENTS[key]
     module = importlib.import_module(f"repro.experiments.{module_name}")
-    result = module.run(scale)
-    report = module.report(result)
-    if svg_dir is not None:
-        from repro.viz import render
+    with obs.span(f"experiment.{key}"):
+        with obs.span(f"experiment.{key}.run"):
+            result = module.run(scale)
+        with obs.span(f"experiment.{key}.report"):
+            report = module.report(result)
+        if svg_dir is not None:
+            from repro.viz import render
 
-        written = render(key, result, svg_dir)
-        if written:
-            report += "\n  [svg] " + ", ".join(str(p) for p in written)
+            with obs.span(f"experiment.{key}.render"):
+                written = render(key, result, svg_dir)
+            if written:
+                report += "\n  [svg] " + ", ".join(str(p) for p in written)
     return report
 
 
@@ -95,7 +106,21 @@ def serve_main(argv) -> int:
     parser.add_argument(
         "--max-latency-ms", type=float, default=2.0, help="batching tick length"
     )
+    parser.add_argument(
+        "--metrics-dump",
+        action="store_true",
+        help="instead of starting a server, fetch the metrics of the one "
+        "already listening on --host/--port and print a Prometheus-style "
+        "text dump",
+    )
     args = parser.parse_args(argv)
+
+    if args.metrics_dump:
+        from repro.serve import ServeClient
+
+        with ServeClient(args.host, args.port) as client:
+            sys.stdout.write(client.metrics_prometheus())
+        return 0
 
     print("bootstrapping demo model (genetic search)...", flush=True)
     server, serving, _ = build_service(
@@ -192,6 +217,11 @@ def main(argv=None) -> int:
         if report_dir is not None:
             path = report_dir / f"{key.replace('-', '_')}.txt"
             path.write_text(f"{header}\n{report}\n")
+    if report_dir is not None and obs.enabled():
+        metrics_path = obs.export_jsonl(
+            report_dir / "metrics_experiments.jsonl", run="experiments"
+        )
+        print(f"\n[metrics] {metrics_path}")
     return 0
 
 

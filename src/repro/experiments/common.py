@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core import ProfileDataset, ProfileRecord
 from repro.parallel import parallel_map
 from repro.profiling import SOFTWARE_VARIABLE_NAMES
@@ -87,11 +88,14 @@ def cached(key: str, build: Callable[[], object], refresh: bool = False):
     digest = hashlib.sha256(key.encode()).hexdigest()[:24]
     path = cache_dir() / f"{digest}.pkl"
     if path.exists() and not refresh:
+        obs.counter("cache.hits").inc()
         with open(path, "rb") as handle:
             return pickle.load(handle)
+    obs.counter("cache.misses").inc()
     start = time.perf_counter()
     value = build()
     elapsed = time.perf_counter() - start
+    obs.histogram("cache.build_seconds", obs.SECONDS_BUCKETS).observe(elapsed)
     print(
         f"[repro.cache] built {key} in {elapsed:.1f}s ({digest}.pkl)",
         file=sys.stderr,
@@ -220,10 +224,13 @@ def _build_app_records(
     rebuilds are deterministic functions of (scale, seed, application).
     """
     study = GeneralStudy(scale, seed)
-    return [
-        study.record(application, shard_index, config)
-        for config, shard_index in zip(configs, shard_indices)
-    ]
+    with obs.span("dataset.build_app"):
+        records = [
+            study.record(application, shard_index, config)
+            for config, shard_index in zip(configs, shard_indices)
+        ]
+    obs.counter("dataset.records_built").inc(len(records))
+    return records
 
 
 def build_general_dataset(
@@ -263,7 +270,9 @@ def build_general_dataset(
             ]
             jobs.append((scale, seed, app, configs, shard_indices))
 
-        record_lists = parallel_map(_build_app_records_job, jobs)
+        record_lists = parallel_map(
+            _build_app_records_job, jobs, collect_metrics=True
+        )
         train = empty_general_dataset()
         val = empty_general_dataset()
         for dataset, records in zip(

@@ -50,7 +50,6 @@ def run(scale: Optional[Scale] = None, seed: int = 2012) -> ExtMemoryResult:
 
     def build():
         study = GeneralStudy(scale, seed)
-        rng = np.random.default_rng(seed + 1500)
         apps = study.applications()
 
         # Extended profiles once per shard; the 13-var view is a prefix.

@@ -116,7 +116,7 @@ def _variant_extrapolation(spec, train, scale, seed) -> ScenarioAccuracy:
     study = GeneralStudy(scale, seed + 101)
     for variant in variants:
         study._shards.pop(variant.name, None)
-        shards = study.shards(variant.name, variant)
+        study.shards(variant.name, variant)
         update_configs = sample_configs(UPDATE_PROFILES, rng)
         update_records = study.sample_records(variant.name, update_configs, rng)
 

@@ -19,7 +19,7 @@ then locates the budget at which each approach reaches a target accuracy.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

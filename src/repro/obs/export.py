@@ -1,0 +1,136 @@
+"""Exporters: machine-readable JSONL files and Prometheus-style text.
+
+JSONL is the CI interchange format: every benchmark and experiment run
+appends one line per instrument to a file under the report directory
+(``reports/`` by default, ``$REPRO_REPORT_DIR`` to override), and
+``scripts/check_bench.py`` consumes those files to gate regressions.
+Each line is self-describing::
+
+    {"run": "kernels", "ts": ..., "type": "counter", "name": "...", ...}
+
+The Prometheus dump is the human/scrape format served by the prediction
+server's ``metrics`` op (``python -m repro.experiments serve
+--metrics-dump`` fetches and prints it): counters and gauges one line
+each, histograms as cumulative ``_bucket{le="..."}`` series with ``_sum``
+and ``_count``, names sanitized to the ``[a-zA-Z0-9_]`` metric charset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def default_report_dir() -> Optional[Path]:
+    """The report directory (created on demand), or ``None`` if disabled.
+
+    Resolution matches ``python -m repro.experiments``: ``$REPRO_REPORT_DIR``
+    wins, ``-`` disables report files entirely, default is ``reports/`` at
+    the current working directory.
+    """
+    raw = os.environ.get("REPRO_REPORT_DIR", "reports")
+    if raw == "-":
+        return None
+    path = Path(raw)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def snapshot_to_jsonl(
+    snapshot: Dict[str, dict], run: str, timestamp: Optional[float] = None
+) -> str:
+    """Render a registry snapshot as JSONL (one metric per line)."""
+    ts = round(time.time() if timestamp is None else timestamp, 3)
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(
+            {"run": run, "ts": ts, "type": "counter", "name": name, "value": value}
+        )
+    for name, state in snapshot.get("gauges", {}).items():
+        lines.append(
+            {
+                "run": run,
+                "ts": ts,
+                "type": "gauge",
+                "name": name,
+                "value": state["value"],
+                "updates": state["updates"],
+            }
+        )
+    for name, state in snapshot.get("histograms", {}).items():
+        lines.append(
+            {
+                "run": run,
+                "ts": ts,
+                "type": "histogram",
+                "name": name,
+                "count": state["count"],
+                "sum": state["sum"],
+                "min": state["min"],
+                "max": state["max"],
+                "mean": state["sum"] / state["count"] if state["count"] else 0.0,
+                "bounds": state["bounds"],
+                "counts": state["counts"],
+            }
+        )
+    return "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
+
+
+def write_jsonl(
+    snapshot: Dict[str, dict],
+    path,
+    run: str,
+    append: bool = False,
+) -> Path:
+    """Write (or append) a snapshot's JSONL rendering to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = snapshot_to_jsonl(snapshot, run)
+    with open(path, "a" if append else "w") as handle:
+        handle.write(text)
+    return path
+
+
+def read_jsonl(path) -> list:
+    """Parse a metrics JSONL file back into a list of records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _metric_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def prometheus_text(snapshot: Dict[str, dict]) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format."""
+    out = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name)
+        out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric} {value}")
+    for name, state in snapshot.get("gauges", {}).items():
+        metric = _metric_name(name)
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {state['value']}")
+    for name, state in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name)
+        out.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(state["bounds"], state["counts"]):
+            cumulative += count
+            out.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        out.append(f'{metric}_bucket{{le="+Inf"}} {state["count"]}')
+        out.append(f"{metric}_sum {state['sum']}")
+        out.append(f"{metric}_count {state['count']}")
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,259 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` lives per process (module-level in
+:mod:`repro.obs`); instruments are plain Python objects with no locks, so
+single-threaded hot paths pay one dict lookup to fetch an instrument and
+one attribute update to record.  Cross-*process* aggregation is explicit:
+worker processes record into a fresh registry (see ``obs.collect``),
+return its :meth:`~MetricsRegistry.snapshot`, and the parent merges the
+snapshots back **in input order** via :meth:`~MetricsRegistry.merge` — so
+a parallel run aggregates to exactly the serial run's numbers for any
+worker split (property-tested in ``tests/test_obs.py``).
+
+Merge semantics:
+
+* counters add;
+* histograms add per-bucket counts, counts, and sums; min/max combine;
+  bucket bounds must match exactly (they are part of the metric identity);
+* gauges are last-write-wins: a snapshot that ever set the gauge
+  overwrites the current value, which is deterministic because merges
+  happen in input order.
+
+When observability is disabled (``REPRO_OBS=0``) callers never see these
+classes: :mod:`repro.obs` hands out the shared no-op twins below, whose
+methods are empty — the instrumentation compiles down to a handful of
+no-op calls on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bounds for durations in seconds: log-spaced from
+#: 10 microseconds to 5 minutes.  The catch-all +inf bucket is implicit.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Default bounds for small integer sizes (batch occupancy, queue depth).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (queue depth, live model version)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper edges; an observation lands in the first
+    bucket whose bound is >= the value, or the implicit +inf bucket.  Fixed
+    bounds make cross-process merging exact: two histograms of the same
+    metric always add bucket-by-bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = SECONDS_BUCKETS):
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 for the +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # bisect on the bucket bounds
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Process-wide collection of named instruments.
+
+    Instruments are created on first use and identified by name; asking
+    for an existing name returns the same object (asking with conflicting
+    histogram bounds raises).  ``snapshot()`` produces a plain-dict,
+    JSON-serializable view; ``merge()`` folds such a snapshot back in.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else SECONDS_BUCKETS
+            )
+        elif bounds is not None and tuple(float(b) for b in bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with different bounds"
+            )
+        return instrument
+
+    # -- snapshot / merge ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-serializable view of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": g.value, "updates": g.updates}
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a worker snapshot into this registry (see module docstring)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, state in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if state.get("updates", 0):
+                gauge.value = float(state["value"])
+            gauge.updates += int(state.get("updates", 0))
+        for name, state in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, state["bounds"])
+            if list(histogram.bounds) != [float(b) for b in state["bounds"]]:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            histogram.counts = [
+                a + int(b) for a, b in zip(histogram.counts, state["counts"])
+            ]
+            histogram.count += int(state["count"])
+            histogram.sum += float(state["sum"])
+            if state.get("min") is not None:
+                histogram.min = min(histogram.min, float(state["min"]))
+            if state.get("max") is not None:
+                histogram.max = max(histogram.max, float(state["max"]))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def instruments(self) -> List[str]:
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+
+# -- no-op twins (handed out when REPRO_OBS=0) ------------------------------------------
+
+
+class NullCounter:
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+    updates = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+    name = "<null>"
+    bounds: Tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared stateless singletons: every disabled call site gets the same
+#: object, so the no-op mode is testable by identity.
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()

@@ -1,0 +1,94 @@
+"""Lightweight trace spans: wall/CPU timing with a context stack.
+
+A span brackets one phase of work::
+
+    with obs.span("ga.generation"):
+        ...
+
+On exit it records the wall and CPU durations into the registry's
+histograms ``span.<name>.wall_seconds`` and ``span.<name>.cpu_seconds``
+(so the count, sum, and distribution of every phase accumulate without
+any per-span allocation surviving the span), and while active it sits on
+a per-thread context stack — :func:`current_stack` names the enclosing
+phases, which exporters and tests can use to see *where* time is going.
+
+Spans are deliberately aggregate-only: there is no retained per-span
+event log to grow without bound under serving traffic.  When
+observability is disabled the shared :data:`NULL_SPAN` is handed out and
+``with`` costs two empty method calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.obs.registry import SECONDS_BUCKETS, MetricsRegistry
+
+_stack = threading.local()
+
+
+def current_stack() -> List[str]:
+    """Names of the active spans in this thread, outermost first."""
+    return list(getattr(_stack, "names", ()))
+
+
+def current_span() -> Optional[str]:
+    """The innermost active span name, or ``None`` outside any span."""
+    names = getattr(_stack, "names", None)
+    return names[-1] if names else None
+
+
+class Span:
+    """One timed phase; re-usable but not re-entrant."""
+
+    __slots__ = ("name", "registry", "wall_s", "cpu_s", "_wall0", "_cpu0")
+
+    def __init__(self, name: str, registry: MetricsRegistry):
+        self.name = name
+        self.registry = registry
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def __enter__(self) -> "Span":
+        names = getattr(_stack, "names", None)
+        if names is None:
+            names = _stack.names = []
+        names.append(self.name)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.process_time() - self._cpu0
+        names = getattr(_stack, "names", None)
+        if names and names[-1] == self.name:
+            names.pop()
+        registry = self.registry
+        registry.histogram(f"span.{self.name}.wall_seconds", SECONDS_BUCKETS).observe(
+            self.wall_s
+        )
+        registry.histogram(f"span.{self.name}.cpu_seconds", SECONDS_BUCKETS).observe(
+            self.cpu_s
+        )
+        return False
+
+
+class NullSpan:
+    """Stateless no-op span; one shared instance serves every call site."""
+
+    __slots__ = ()
+    name = "<null>"
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()

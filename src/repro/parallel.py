@@ -11,7 +11,13 @@ Design rules that keep every result identical at any worker count:
 * :func:`parallel_map` / :func:`parallel_starmap` preserve input order, so
   reductions see results in the same order the serial loop would produce;
 * worker counts come from one place (:func:`resolve_workers`), so
-  ``REPRO_WORKERS`` uniformly controls the whole pipeline.
+  ``REPRO_WORKERS`` uniformly controls the whole pipeline;
+* metrics recorded by jobs (``repro.obs``) aggregate deterministically:
+  with ``collect_metrics=True`` each job runs against a fresh registry in
+  its worker, and the per-job snapshots are merged back into the parent's
+  registry **in input order** — so counters and histograms are identical
+  to a serial run for any worker split (property-tested in
+  ``tests/test_obs.py``).
 
 ``REPRO_WORKERS`` semantics: unset or empty means serial (1); ``0`` or
 ``auto`` means one worker per CPU; any other integer is used as given
@@ -67,22 +73,55 @@ def chunk_seeds(base_seed: int, n: int) -> List[int]:
     return [int(child.generate_state(1)[0]) for child in children]
 
 
+def _collected_call(job) -> tuple:
+    """Run one job against a fresh metrics registry (worker shim).
+
+    Isolation matters under the default ``fork`` start method: the child's
+    global registry is a *copy* of the parent's, so snapshotting it
+    directly would re-count everything the parent had already recorded.
+    """
+    from repro import obs
+
+    fn, args = job
+    with obs.collect() as registry:
+        result = fn(*args)
+    return result, registry.snapshot()
+
+
+def _run_pool_collected(fn, arg_tuples, workers: int, chunksize: int) -> list:
+    from repro import obs
+
+    jobs = [(fn, args) for args in arg_tuples]
+    with multiprocessing.Pool(min(workers, len(jobs))) as pool:
+        outcomes = pool.map(_collected_call, jobs, chunksize=chunksize)
+    results = []
+    for result, snapshot in outcomes:  # merge in input order: deterministic
+        obs.merge(snapshot)
+        results.append(result)
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     n_workers: Optional[int] = None,
     chunksize: int = 1,
+    collect_metrics: bool = False,
 ) -> List[R]:
     """Order-preserving map over a process pool.
 
     Serial (plain loop, no pool, no pickling) when the resolved worker
     count is 1 or there is at most one item.  ``fn`` must be a module-level
-    callable for the parallel path.
+    callable for the parallel path.  With ``collect_metrics=True``, metrics
+    the jobs record via :mod:`repro.obs` are shipped back as per-job
+    snapshots and merged into this process's registry in input order.
     """
     workers = resolve_workers(n_workers)
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    if collect_metrics:
+        return _run_pool_collected(fn, [(item,) for item in items], workers, chunksize)
     with multiprocessing.Pool(min(workers, len(items))) as pool:
         return pool.map(fn, items, chunksize=chunksize)
 
@@ -92,11 +131,14 @@ def parallel_starmap(
     arg_tuples: Iterable[tuple],
     n_workers: Optional[int] = None,
     chunksize: int = 1,
+    collect_metrics: bool = False,
 ) -> List[R]:
     """:func:`parallel_map` for functions of several arguments."""
     workers = resolve_workers(n_workers)
     jobs = list(arg_tuples)
     if workers <= 1 or len(jobs) <= 1:
         return [fn(*args) for args in jobs]
+    if collect_metrics:
+        return _run_pool_collected(fn, jobs, workers, chunksize)
     with multiprocessing.Pool(min(workers, len(jobs))) as pool:
         return pool.starmap(fn, jobs, chunksize=chunksize)

@@ -37,6 +37,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import obs
+
 
 def _block_ids(addresses: np.ndarray, block_bytes: int) -> np.ndarray:
     if block_bytes <= 0 or block_bytes & (block_bytes - 1):
@@ -159,8 +161,10 @@ def stack_distances(
     n_cold:
         Number of cold accesses (distinct blocks touched).
     """
-    blocks = _block_ids(np.asarray(addresses), block_bytes)
-    return stack_distances_from_blocks(blocks)
+    with obs.span("kernel.stack_distances"):
+        obs.counter("kernel.stack_accesses").inc(len(addresses))
+        blocks = _block_ids(np.asarray(addresses), block_bytes)
+        return stack_distances_from_blocks(blocks)
 
 
 def stack_distances_from_blocks(blocks: np.ndarray) -> Tuple[np.ndarray, int]:

@@ -28,9 +28,11 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
+
+from repro import obs
 
 
 class QueueFullError(RuntimeError):
@@ -132,6 +134,13 @@ class MicroBatcher:
         self._wakeup = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
         self._closed = False
+        self._obs_occupancy = obs.histogram(
+            "serve.batch_occupancy", obs.SIZE_BUCKETS
+        )
+        self._obs_queue_depth = obs.gauge("serve.queue_depth")
+        self._obs_ticks = obs.counter("serve.batch_ticks")
+        self._obs_rejected = obs.counter("serve.queue_rejected")
+        self._obs_timed_out = obs.counter("serve.request_timeouts")
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -162,16 +171,19 @@ class MicroBatcher:
             raise RuntimeError("batcher closed")
         if len(self._queue) >= self.config.queue_depth:
             self.stats.rejected += 1
+            self._obs_rejected.inc()
             raise QueueFullError(
                 f"prediction queue at capacity ({self.config.queue_depth})"
             )
         future = asyncio.get_running_loop().create_future()
         self._queue.append((np.asarray(row, dtype=float), future))
+        self._obs_queue_depth.set(len(self._queue))
         self._wakeup.set()
         try:
             return await asyncio.wait_for(future, self.config.request_timeout_s)
         except asyncio.TimeoutError:
             self.stats.timed_out += 1
+            self._obs_timed_out.inc()
             raise RequestTimeout(
                 f"prediction not served within {self.config.request_timeout_s}s"
             ) from None
@@ -207,6 +219,7 @@ class MicroBatcher:
         if take == 0:
             return
         batch = [self._queue.popleft() for _ in range(take)]
+        self._obs_queue_depth.set(len(self._queue))
         # Drop requests whose waiter already gave up (timeout/cancel); they
         # must not occupy batch rows.
         live = [(row, fut) for row, fut in batch if not fut.done()]
@@ -224,6 +237,8 @@ class MicroBatcher:
                     )
             return
         self.stats.record_flush(len(live))
+        self._obs_ticks.inc()
+        self._obs_occupancy.observe(len(live))
         for (_, future), prediction in zip(live, predictions):
             if not future.done():
                 future.set_result((float(prediction), version))

@@ -94,6 +94,14 @@ class ServeClient:
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 
+    def metrics(self) -> dict:
+        """The server's ``repro.obs`` registry snapshot."""
+        return self.request({"op": "metrics"})["metrics"]
+
+    def metrics_prometheus(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self.request({"op": "metrics", "format": "prometheus"})["text"]
+
     def predict(self, x: Sequence[float], y: Sequence[float]) -> dict:
         return self.request({"op": "predict", "x": list(x), "y": list(y)})
 
@@ -301,6 +309,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--requests", type=int, default=2000)
     parser.add_argument(
+        "--check-metrics",
+        action="store_true",
+        help="fetch the metrics op and fail unless the server has counted "
+        "a non-zero number of requests and predictions",
+    )
+    parser.add_argument(
         "--shutdown", action="store_true", help="stop the server when done"
     )
     args = parser.parse_args(argv)
@@ -329,6 +343,16 @@ def main(argv=None) -> int:
         ).run(args.requests)
         print(json.dumps(report.to_dict(), indent=2))
         if report.failed:
+            status = 1
+    if args.check_metrics:
+        counters = client.metrics().get("counters", {})
+        requests = counters.get("serve.requests", 0)
+        predictions = counters.get("serve.predictions", 0)
+        print(f"metrics: serve.requests={requests} "
+              f"serve.predictions={predictions}")
+        if requests <= 0 or predictions <= 0:
+            print("metrics check failed: expected non-zero request and "
+                  "prediction counts")
             status = 1
     if args.shutdown:
         try:

@@ -33,6 +33,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.dataset import ProfileRecord
 from repro.core.updater import ModelManager, ObservationOutcome
 from repro.serve.batching import ModelSlot
@@ -84,6 +85,7 @@ class ServingManager:
         )
         self.slot.swap(receipt.version, self.manager.model)
         self.stats.last_published_version = receipt.version
+        obs.gauge("serve.model_version").set(receipt.version)
         return receipt.version
 
     # -- observe path --------------------------------------------------------------
@@ -110,8 +112,10 @@ class ServingManager:
                 lambda: self.manager.observe(profiles, auto_update=False),
             )
             self.stats.observations += 1
+            obs.counter("serve.observations").inc()
             if outcome.accurate:
                 self.stats.absorbed += 1
+                obs.counter("serve.observations_absorbed").inc()
             update_scheduled = False
             if self.manager.needs_update(outcome) and not self.update_in_progress:
                 self.manager.absorb(application)
@@ -147,7 +151,10 @@ class ServingManager:
             # The genetic re-specification (§3.3) — minutes of CPU at paper
             # scale — runs off-loop; predictions continue on the old
             # snapshot for its whole duration.
-            model = await loop.run_in_executor(self._executor, self.manager.update)
+            with obs.span("serve.update"):
+                model = await loop.run_in_executor(
+                    self._executor, self.manager.update
+                )
             receipt = self.registry.publish(
                 self.key,
                 model,
@@ -162,8 +169,11 @@ class ServingManager:
             self.slot.swap(receipt.version, model)
             self.stats.last_published_version = receipt.version
             self.stats.updates_completed += 1
+            obs.counter("serve.updates_completed").inc()
+            obs.gauge("serve.model_version").set(receipt.version)
         except Exception:
             self.stats.updates_failed += 1
+            obs.counter("serve.updates_failed").inc()
             raise
 
     # -- reporting -----------------------------------------------------------------

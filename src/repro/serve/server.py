@@ -18,6 +18,11 @@ Operations (``{"op": ...}`` request, ``{"ok": true/false, ...}`` reply):
                     the online update manager when one is attached.
 ``stats``           request counters, batch-occupancy histogram, model
                     version, update counters.
+``metrics``         the process-wide ``repro.obs`` registry: a snapshot
+                    dict by default, the Prometheus text exposition format
+                    with ``{"format": "prometheus"}`` (this is what
+                    ``python -m repro.experiments serve --metrics-dump``
+                    prints).
 ``shutdown``        graceful stop (used by the CLI smoke flow and tests).
 
 Error replies carry HTTP-flavored ``status`` codes: 400 malformed, 404
@@ -32,10 +37,12 @@ import asyncio
 import dataclasses
 import json
 import struct
+import time
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.serve.batching import (
     BatchConfig,
     MicroBatcher,
@@ -94,6 +101,16 @@ class PredictionServer:
         self.manager = manager  # Optional[ServingManager], wired by serve.manager
         self.batcher = MicroBatcher(slot, batch_config)
         self.stats = ServerStats()
+        # Cached instrument handles: one dict lookup per server, not per
+        # request (no-op singletons when $REPRO_OBS=0).
+        self._obs_latency = obs.histogram(
+            "serve.request_seconds", obs.SECONDS_BUCKETS
+        )
+        self._obs_requests = obs.counter("serve.requests")
+        self._obs_predictions = obs.counter("serve.predictions")
+        self._obs_errors = obs.counter("serve.errors")
+        self._obs_rejected = obs.counter("serve.rejected_429")
+        self._obs_connections = obs.counter("serve.connections")
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopped = asyncio.Event()
         self._conn_tasks: set = set()
@@ -136,6 +153,7 @@ class PredictionServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats.connections += 1
+        self._obs_connections.inc()
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
@@ -172,7 +190,15 @@ class PredictionServer:
     # -- dispatch ------------------------------------------------------------------
 
     async def _dispatch(self, request: dict) -> dict:
+        start = time.perf_counter()
+        try:
+            return await self._dispatch_op(request)
+        finally:
+            self._obs_latency.observe(time.perf_counter() - start)
+
+    async def _dispatch_op(self, request: dict) -> dict:
         self.stats.requests += 1
+        self._obs_requests.inc()
         op = request.get("op")
         try:
             if op == "ping":
@@ -181,6 +207,8 @@ class PredictionServer:
                 return self._op_info()
             if op == "stats":
                 return self._op_stats()
+            if op == "metrics":
+                return self._op_metrics(request)
             if op == "predict":
                 return await self._op_predict(request)
             if op == "predict_batch":
@@ -191,18 +219,24 @@ class PredictionServer:
                 self.stop()
                 return {"ok": True, "op": "shutdown"}
             self.stats.errors += 1
+            self._obs_errors.inc()
             return {"ok": False, "status": 404, "error": f"unknown op {op!r}"}
         except QueueFullError as exc:
             self.stats.errors += 1
+            self._obs_errors.inc()
+            self._obs_rejected.inc()
             return {"ok": False, "status": 429, "error": str(exc)}
         except RequestTimeout as exc:
             self.stats.errors += 1
+            self._obs_errors.inc()
             return {"ok": False, "status": 408, "error": str(exc)}
         except (KeyError, TypeError, ValueError) as exc:
             self.stats.errors += 1
+            self._obs_errors.inc()
             return {"ok": False, "status": 400, "error": f"bad request: {exc}"}
         except RuntimeError as exc:
             self.stats.errors += 1
+            self._obs_errors.inc()
             status = 503 if "no model" in str(exc) else 500
             return {"ok": False, "status": status, "error": str(exc)}
 
@@ -242,6 +276,7 @@ class PredictionServer:
         row = self._request_row(request, len(model.variable_names))
         prediction, version = await self.batcher.submit(row)
         self.stats.predictions += 1
+        self._obs_predictions.inc()
         return {"ok": True, "prediction": prediction, "model_version": version}
 
     def _op_predict_batch(self, request: dict) -> dict:
@@ -256,6 +291,7 @@ class PredictionServer:
             raise ValueError("non-finite feature values")
         predictions = model.predict_rows(rows)
         self.stats.predictions += len(predictions)
+        self._obs_predictions.inc(len(predictions))
         return {
             "ok": True,
             "predictions": [float(p) for p in predictions],
@@ -270,6 +306,11 @@ class PredictionServer:
                 "error": "server runs without an online update manager",
             }
         return await self.manager.handle_observe(request)
+
+    def _op_metrics(self, request: dict) -> dict:
+        if request.get("format") == "prometheus":
+            return {"ok": True, "format": "prometheus", "text": obs.prometheus_dump()}
+        return {"ok": True, "format": "snapshot", "metrics": obs.snapshot()}
 
     def _op_stats(self) -> dict:
         payload: Dict[str, object] = {

@@ -17,6 +17,7 @@ from typing import Iterator, List, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.profiling.reuse import stack_distances_and_prev
 
 #: Below this many accesses the vectorized LRU path's setup cost is not
@@ -220,13 +221,17 @@ class SetAssociativeCache:
         reference loop.
         """
         addrs = np.asarray(addresses, dtype=np.int64)
-        if (
-            self.policy == "LRU"
-            and len(addrs) >= _VECTORIZE_MIN
-            and not any(self._sets)
-        ):
-            return self._simulate_lru_vectorized(addrs)
-        return self.simulate_reference(addrs)
+        # One span per *stream* (not per access): the timing cost is fixed
+        # per call, so the vectorized inner loops stay untouched.
+        with obs.span("kernel.cache_sim"):
+            obs.counter("kernel.cache_accesses").inc(len(addrs))
+            if (
+                self.policy == "LRU"
+                and len(addrs) >= _VECTORIZE_MIN
+                and not any(self._sets)
+            ):
+                return self._simulate_lru_vectorized(addrs)
+            return self.simulate_reference(addrs)
 
     def _group_by_set(self, lines: np.ndarray) -> np.ndarray:
         """Reorder ``lines`` so each set's subsequence is contiguous.

@@ -12,7 +12,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, Dict, List
 
-import numpy as np
 
 from repro.viz.svg import (
     boxplot_rows,

@@ -1,0 +1,200 @@
+"""Unit tests for the CI benchmark-regression gate.
+
+The ISSUE acceptance case: ``scripts/check_bench.py`` must exit non-zero
+when fed a BENCH file degraded beyond tolerance, and zero on an
+unchanged (or improved) report.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    Path(__file__).resolve().parents[1] / "scripts" / "check_bench.py",
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+sys.modules["check_bench"] = check_bench
+_SPEC.loader.exec_module(check_bench)
+
+BASELINE = {
+    "smoke": True,
+    "kernels": {
+        "cache_sim": {
+            "speedup": 20.0,
+            "after_ops_per_sec": 2_000_000.0,
+            "before_ops_per_sec": 100_000.0,
+            "misses": 7631,
+            "n_ops": 10_000,
+        },
+    },
+    "load": {
+        "throughput_rps": 2000.0,
+        "latency_ms": {"p50": 3.0, "p99": 4.0, "max": 5.0},
+        "requests": 2000,
+    },
+    "obs_overhead": {"overhead_fraction": 0.01},
+}
+
+
+def _write_pair(tmp_path: Path, current: dict) -> tuple:
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    baseline_dir.mkdir(exist_ok=True)
+    current_dir.mkdir(exist_ok=True)
+    (baseline_dir / "BENCH_unit.json").write_text(json.dumps(BASELINE))
+    (current_dir / "BENCH_unit.json").write_text(json.dumps(current))
+    return baseline_dir, current_dir
+
+
+def _run(baseline_dir: Path, current_dir: Path, *extra: str) -> int:
+    return check_bench.main(
+        [
+            "--baseline-dir",
+            str(baseline_dir),
+            "--current-dir",
+            str(current_dir),
+            *extra,
+        ]
+    )
+
+
+class TestGate:
+    def test_identical_report_passes(self, tmp_path):
+        assert _run(*_write_pair(tmp_path, BASELINE)) == 0
+
+    def test_degraded_speedup_fails(self, tmp_path, capsys):
+        current = copy.deepcopy(BASELINE)
+        current["kernels"]["cache_sim"]["speedup"] = 10.0  # -50% < -25%
+        assert _run(*_write_pair(tmp_path, current)) == 1
+        out = capsys.readouterr().out
+        assert "kernels.cache_sim.speedup" in out  # failing metric named
+
+    def test_degraded_latency_fails(self, tmp_path, capsys):
+        current = copy.deepcopy(BASELINE)
+        current["load"]["latency_ms"]["p50"] = 6.0  # +100% > +25%
+        assert _run(*_write_pair(tmp_path, current)) == 1
+        assert "load.latency_ms.p50" in capsys.readouterr().out
+
+    def test_tail_percentiles_get_double_headroom(self, tmp_path):
+        current = copy.deepcopy(BASELINE)
+        current["load"]["latency_ms"]["p99"] = 5.6  # +40%: within 2x25%
+        assert _run(*_write_pair(tmp_path, current)) == 0
+        current["load"]["latency_ms"]["p99"] = 8.0  # +100%: beyond 2x25%
+        assert _run(*_write_pair(tmp_path, current)) == 1
+
+    def test_max_latency_is_informational(self, tmp_path):
+        current = copy.deepcopy(BASELINE)
+        current["load"]["latency_ms"]["max"] = 500.0  # single worst sample
+        assert _run(*_write_pair(tmp_path, current)) == 0
+
+    def test_degradation_within_tolerance_passes(self, tmp_path):
+        current = copy.deepcopy(BASELINE)
+        current["kernels"]["cache_sim"]["speedup"] = 16.0  # -20% ok at 25%
+        current["load"]["latency_ms"]["p50"] = 3.6  # +20% ok at 25%
+        assert _run(*_write_pair(tmp_path, current)) == 0
+
+    def test_tolerance_flag_tightens_the_gate(self, tmp_path):
+        current = copy.deepcopy(BASELINE)
+        current["kernels"]["cache_sim"]["speedup"] = 16.0  # -20%
+        dirs = _write_pair(tmp_path, current)
+        assert _run(*dirs, "--tolerance", "0.1") == 1
+        assert _run(*dirs, "--tolerance", "0.25") == 0
+
+    def test_tolerance_env_override(self, tmp_path, monkeypatch):
+        current = copy.deepcopy(BASELINE)
+        current["kernels"]["cache_sim"]["speedup"] = 16.0  # -20%
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.1")
+        assert _run(*_write_pair(tmp_path, current)) == 1
+
+    def test_improvement_never_fails(self, tmp_path):
+        current = copy.deepcopy(BASELINE)
+        current["kernels"]["cache_sim"]["speedup"] = 100.0
+        current["load"]["latency_ms"]["p99"] = 0.5
+        assert _run(*_write_pair(tmp_path, current)) == 0
+
+    def test_informational_counts_never_gate(self, tmp_path):
+        current = copy.deepcopy(BASELINE)
+        current["kernels"]["cache_sim"]["misses"] = 1  # count, not perf
+        current["load"]["requests"] = 1
+        assert _run(*_write_pair(tmp_path, current)) == 0
+
+    def test_missing_metric_fails(self, tmp_path, capsys):
+        current = copy.deepcopy(BASELINE)
+        del current["load"]["throughput_rps"]
+        assert _run(*_write_pair(tmp_path, current)) == 1
+        assert "load.throughput_rps missing" in capsys.readouterr().out
+
+    def test_missing_current_report_fails(self, tmp_path):
+        baseline_dir, current_dir = _write_pair(tmp_path, BASELINE)
+        (current_dir / "BENCH_unit.json").unlink()
+        assert _run(baseline_dir, current_dir) == 1
+
+    def test_smoke_flag_mismatch_fails(self, tmp_path, capsys):
+        current = copy.deepcopy(BASELINE)
+        current["smoke"] = False  # full run against a smoke baseline
+        assert _run(*_write_pair(tmp_path, current)) == 1
+        assert "smoke" in capsys.readouterr().out
+
+    def test_no_baselines_is_an_error(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert _run(empty, empty) == 2
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("kernels.cache_sim.speedup", "higher"),
+            ("kernels.cache_sim.after_ops_per_sec", "higher"),
+            ("load.throughput_rps", "higher"),
+            ("search.memo_hit_rate", "higher"),
+            ("load.mean_batch_occupancy", "higher"),
+            ("search.engine_seconds", "lower"),
+            ("load.latency_ms.p99", "lower"),
+            ("load.latency_ms.max", "info"),
+            ("obs_overhead.overhead_fraction", "info"),
+            ("kernels.cache_sim.misses", "info"),
+            ("load.requests", "info"),
+            ("live_update.version_after", "info"),
+        ],
+    )
+    def test_direction(self, path, expected):
+        assert check_bench.classify(path) == expected
+
+
+class TestMetricsJsonl:
+    def test_good_dump_passes(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            json.dumps({"type": "counter", "name": "a", "value": 3}) + "\n"
+            + json.dumps({"type": "gauge", "name": "b", "value": 1.0}) + "\n"
+        )
+        assert check_bench.check_metrics_jsonl(path) == []
+
+    def test_missing_dump_fails(self, tmp_path):
+        assert check_bench.check_metrics_jsonl(tmp_path / "nope.jsonl")
+
+    def test_empty_dump_fails(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("")
+        assert check_bench.check_metrics_jsonl(path)
+
+    def test_all_zero_counters_fail(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            json.dumps({"type": "counter", "name": "a", "value": 0}) + "\n"
+        )
+        assert check_bench.check_metrics_jsonl(path)
+
+    def test_garbage_dump_fails(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("not json\n")
+        assert check_bench.check_metrics_jsonl(path)

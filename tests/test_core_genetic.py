@@ -111,7 +111,7 @@ class TestGeneticSearch:
 
     def test_warm_start_update(self, synthetic_dataset):
         search = tiny_search()
-        first = search.run(synthetic_dataset, generations=2)
+        search.run(synthetic_dataset, generations=2)
         grown = make_synthetic_dataset(apps=("alpha", "beta", "gamma", "delta"))
         second = search.update(grown, generations=2)
         assert len(second.population) == 8

@@ -1,11 +1,8 @@
 """Tests for the experiment infrastructure (scales, caching, drivers, CLI)."""
 
-import os
-
 import numpy as np
 import pytest
 
-from repro.experiments import common
 from repro.experiments.common import (
     SCALES,
     GeneralStudy,

@@ -25,7 +25,6 @@ from repro.workloads import (
     application_spec,
     generate_trace,
     optimization_variant,
-    spec2006_suite,
 )
 
 SHARD = 2_000

@@ -9,14 +9,12 @@ monotonically with zero failed requests across the swap.
 import asyncio
 
 import numpy as np
-import pytest
 
 from repro.core import InferredModel, ModelSpec, TransformKind
 from repro.serve import (
     BatchConfig,
     MicroBatcher,
     ModelKey,
-    ModelRegistry,
     ModelSlot,
 )
 from repro.serve.bootstrap import build_service, demo_dataset, outlier_profiles

@@ -3,7 +3,6 @@
 import json
 import threading
 
-import numpy as np
 import pytest
 
 from repro.core import InferredModel, ModelFormatError, ModelSpec, TransformKind

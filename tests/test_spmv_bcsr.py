@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.spmv import BCSRMatrix, SparseMatrix, fill_ratio, to_bcsr
+from repro.spmv import SparseMatrix, fill_ratio, to_bcsr
 
 FIGURE11 = np.array(
     [

@@ -13,7 +13,6 @@ from repro.spmv import (
     default_cache,
     fit_spmv_model,
     predicted_topology,
-    sample_cache_configs,
     spmv_model_spec,
     table4_matrix,
     tuning_cache_candidates,

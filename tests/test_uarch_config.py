@@ -5,14 +5,12 @@ import pytest
 
 from repro.uarch import (
     HARDWARE_VARIABLE_NAMES,
-    PipelineConfig,
     config_from_levels,
     design_space_size,
     reference_config,
     sample_configs,
 )
 from repro.uarch.config import (
-    DCACHE_KB_LEVELS,
     IQ_LEVELS,
     L1_ASSOC_LEVELS,
     L2_ASSOC_LEVELS,

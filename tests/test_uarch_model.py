@@ -18,7 +18,6 @@ from repro.uarch import (
 )
 from repro.uarch.cachemodel import _binom_sf
 from repro.uarch.shardstats import COLD
-from repro.uarch.config import _LEVEL_COUNTS
 
 
 class TestBinomialSurvival:

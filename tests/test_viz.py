@@ -7,7 +7,6 @@ import pytest
 
 from repro.viz import (
     boxplot_rows,
-    document,
     grouped_bars,
     heatmap,
     histogram,
