@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.collinearity import prune_design
 from repro.core.dataset import ProfileDataset
 from repro.core.design import ModelSpec
@@ -374,8 +374,10 @@ def evaluate_chunk(
     Top-level and fully determined by its arguments, so
     :mod:`repro.parallel` can ship whole population chunks to worker
     processes: each worker builds the column store once per chunk instead
-    of once per candidate.
+    of once per candidate — and the supervised pool can resubmit a chunk
+    whose worker died without changing any result.
     """
+    faults.site("engine.evaluate_chunk")
     engine = FitnessEngine(
         dataset, split_seed, weight=weight, train_fraction=train_fraction
     )

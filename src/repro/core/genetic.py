@@ -307,11 +307,16 @@ class GeneticSearch:
                 # collect_metrics ships each chunk's obs snapshot back and
                 # merges them here in chunk order, so engine counters are
                 # identical to the serial run at any worker count.
+                # supervised: a worker that dies (or hangs) mid-chunk gets
+                # its chunk resubmitted to a fresh pool — fitness evaluation
+                # survives worker loss with bit-identical results because
+                # chunks are pure functions of (dataset, seed, specs).
                 outcomes = parallel_starmap(
                     evaluate_chunk,
                     jobs,
                     n_workers=self.n_workers,
                     collect_metrics=True,
+                    supervised=True,
                 )
                 by_chromosome: Dict[Chromosome, FitnessResult] = {}
                 for chunk, (chunk_results, chunk_stats) in zip(chunks, outcomes):

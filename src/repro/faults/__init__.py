@@ -1,0 +1,68 @@
+"""``repro.faults`` — deterministic fault injection + retry policies.
+
+Two halves, documented in DESIGN.md §8:
+
+* :mod:`repro.faults.plan` — seedable :class:`FaultPlan` schedules fired
+  at named injection points (:func:`site` / :func:`site_async`) threaded
+  through the serving, parallelism, and registry hot paths.  Zero-cost
+  no-ops until a plan is armed; armable from ``$REPRO_FAULTS``.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`, the bounded,
+  deterministically jittered exponential-backoff policy the serve client
+  (and anything else flaky-adjacent) recovers with.
+
+Typical chaos-test usage::
+
+    from repro import faults
+
+    plan = faults.FaultPlan.parse("serve.write_frame=corrupt@1", seed=7)
+    with faults.armed(plan):
+        ...   # first reply frame is corrupted; client retries through it
+    assert plan.injected_counts() == [1]
+"""
+
+from repro.faults.plan import (
+    ACTIONS,
+    FAULTS_ENV,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    InjectedDrop,
+    InjectedFault,
+    Outcome,
+    active_plan,
+    arm,
+    arm_from_env,
+    armed,
+    disarm,
+    register_exception,
+    site,
+    site_async,
+)
+from repro.faults.retry import DEFAULT_RETRY_STATUSES, NO_RETRY, RetryPolicy
+
+# Join any schedule the environment carries (CI chaos job, fork/spawn
+# subprocesses): the env var names both the seed and the spec, so every
+# process that imports the package sees the same plan shape.
+arm_from_env()
+
+__all__ = [
+    "ACTIONS",
+    "DEFAULT_RETRY_STATUSES",
+    "FAULTS_ENV",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedDrop",
+    "InjectedFault",
+    "NO_RETRY",
+    "Outcome",
+    "RetryPolicy",
+    "active_plan",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "disarm",
+    "register_exception",
+    "site",
+    "site_async",
+]

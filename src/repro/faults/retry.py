@@ -1,0 +1,133 @@
+"""Bounded retries with deterministic, seeded exponential backoff.
+
+:class:`RetryPolicy` is the one retry/backoff vocabulary of the repo —
+``serve.client`` uses it to survive dropped connections, corrupted
+frames, and 429/408 replies; anything else that talks to a flaky
+dependency can reuse it.  Three properties matter:
+
+* **bounded** — ``max_attempts`` is a hard cap; the last error always
+  propagates, never an infinite loop;
+* **deterministic** — jitter is derived from ``(seed, failure number)``,
+  not wall-clock entropy, so a test (or a re-run of a chaos seed)
+  observes the exact same backoff schedule (property-tested in
+  ``tests/test_faults.py``);
+* **capped** — the un-jittered schedule is monotone non-decreasing and
+  clamped to ``max_delay_s``; jitter perturbs by at most ``±jitter``
+  fraction and can never push a delay negative.
+
+Attempt bookkeeping goes to :mod:`repro.obs` (``retry.attempts``,
+``retry.retries``, ``retry.giveups``) so a chaos run shows how much
+retrying its faults caused.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple, Type, TypeVar
+
+from repro import obs
+
+T = TypeVar("T")
+
+#: Server reply statuses worth retrying: timeouts (408), shed load (429),
+#: transient server errors (500/503).  Client errors (400/404) are not.
+DEFAULT_RETRY_STATUSES: FrozenSet[int] = frozenset({408, 429, 500, 503})
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between failures."""
+
+    max_attempts: int = 4            #: total tries, including the first
+    base_delay_s: float = 0.05       #: backoff after the first failure
+    multiplier: float = 2.0          #: exponential growth per failure
+    max_delay_s: float = 2.0         #: cap on any single backoff
+    jitter: float = 0.1              #: ± fraction applied to each backoff
+    seed: int = 0                    #: derives the deterministic jitter
+    attempt_timeout_s: Optional[float] = None  #: per-attempt budget (transport-level)
+    retry_statuses: FrozenSet[int] = DEFAULT_RETRY_STATUSES
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff must not shrink)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    # -- the schedule ----------------------------------------------------------------
+
+    def base_backoff_s(self, failure: int) -> float:
+        """Un-jittered backoff after the ``failure``-th failure (1-based).
+
+        ``min(max_delay_s, base_delay_s * multiplier**(failure-1))`` —
+        monotone non-decreasing in ``failure`` and capped.
+        """
+        if failure < 1:
+            raise ValueError("failure numbers are 1-based")
+        return min(self.max_delay_s, self.base_delay_s * self.multiplier ** (failure - 1))
+
+    def backoff_s(self, failure: int) -> float:
+        """Jittered backoff: the base scaled by a seeded ±``jitter`` draw."""
+        base = self.base_backoff_s(failure)
+        if not self.jitter:
+            return base
+        unit = random.Random(f"{self.seed}:{failure}").random()  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def schedule(self) -> List[float]:
+        """Every backoff this policy can sleep, in order (length
+        ``max_attempts - 1``)."""
+        return [self.backoff_s(f) for f in range(1, self.max_attempts)]
+
+    def retryable_status(self, status: int) -> bool:
+        return status in self.retry_statuses
+
+    # -- execution helpers -----------------------------------------------------------
+
+    def attempts(self) -> Iterator[Tuple[int, bool]]:
+        """Yield ``(attempt_number, is_last)`` pairs, 1-based."""
+        for attempt in range(1, self.max_attempts + 1):
+            yield attempt, attempt == self.max_attempts
+
+    def sleep(self, failure: int) -> float:
+        """Sleep the backoff for ``failure`` and return the duration."""
+        delay = self.backoff_s(failure)
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: Tuple[Type[BaseException], ...] = (ConnectionError, OSError, TimeoutError),
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> T:
+        """Run ``fn`` under this policy, sleeping between failures.
+
+        ``on_retry(failure_number, error)`` is called before each backoff
+        (e.g. to reset a connection).  The final failure propagates.
+        """
+        attempts_counter = obs.counter("retry.attempts")
+        for attempt, is_last in self.attempts():
+            attempts_counter.inc()
+            try:
+                return fn()
+            except retry_on as exc:
+                if is_last:
+                    obs.counter("retry.giveups").inc()
+                    raise
+                obs.counter("retry.retries").inc()
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: A policy that never retries — for call sites that must fail fast but
+#: share the RetryPolicy-shaped interface.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay_s=0.0, jitter=0.0)

@@ -22,12 +22,27 @@ Design rules that keep every result identical at any worker count:
 ``REPRO_WORKERS`` semantics: unset or empty means serial (1); ``0`` or
 ``auto`` means one worker per CPU; any other integer is used as given
 (minimum 1).
+
+**Supervised mode** (``supervised=True``, or ``REPRO_SUPERVISED=1``)
+additionally survives worker failure: jobs run on a
+:class:`concurrent.futures.ProcessPoolExecutor`, and when a worker dies
+(SIGKILL, ``os._exit``, OOM — surfaced as ``BrokenProcessPool``) or hangs
+past ``timeout_s``, the pool is torn down and only the unfinished jobs
+are resubmitted to a fresh one, up to ``max_attempts`` rounds.  Because
+jobs are pure functions of their arguments and results/metrics are
+slotted by input index, a run that loses workers returns bit-identical
+results (and obs counters) to an undisturbed or serial run — this is the
+substrate the genetic search's fitness evaluation rides on, and what the
+killed-worker chaos tests exercise.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
@@ -36,6 +51,14 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 WORKERS_ENV = "REPRO_WORKERS"
+SUPERVISED_ENV = "REPRO_SUPERVISED"
+
+#: Resubmission rounds before a supervised run declares the work impossible.
+DEFAULT_MAX_ATTEMPTS = 4
+
+
+class WorkerFailure(RuntimeError):
+    """Supervised jobs kept dying/hanging past the resubmission budget."""
 
 
 def resolve_workers(n_workers: Optional[int] = None) -> int:
@@ -59,6 +82,14 @@ def resolve_workers(n_workers: Optional[int] = None) -> int:
     if n_workers == 0:
         n_workers = multiprocessing.cpu_count()
     return max(1, int(n_workers))
+
+
+def resolve_supervised(supervised: Optional[bool] = None) -> bool:
+    """Supervised-mode switch: explicit argument wins, then
+    ``$REPRO_SUPERVISED`` (``1``/``true``/``on``), default off."""
+    if supervised is not None:
+        return bool(supervised)
+    return os.environ.get(SUPERVISED_ENV, "").strip().lower() in ("1", "true", "on")
 
 
 def chunk_seeds(base_seed: int, n: int) -> List[int]:
@@ -101,12 +132,127 @@ def _run_pool_collected(fn, arg_tuples, workers: int, chunksize: int) -> list:
     return results
 
 
+# -- supervised execution --------------------------------------------------------------
+
+
+def _supervised_call(job: tuple) -> tuple:
+    """Worker shim for supervised jobs.
+
+    Passes through the ``parallel.job`` fault site (so chaos plans can
+    kill/raise/delay inside the worker) and, when metrics collection is
+    on, runs the job against a fresh registry exactly like
+    :func:`_collected_call`.
+    """
+    from repro import faults, obs
+
+    fn, args, collect = job
+    faults.site("parallel.job")
+    if not collect:
+        return fn(*args), None
+    with obs.collect() as registry:
+        result = fn(*args)
+    return result, registry.snapshot()
+
+
+def _kill_pool(executor: ProcessPoolExecutor) -> None:
+    """Forcibly stop an executor whose workers are hung or dead."""
+    processes = list(getattr(executor, "_processes", {}).values())
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+    executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_supervised(
+    fn,
+    arg_tuples: Sequence[tuple],
+    workers: int,
+    collect_metrics: bool,
+    timeout_s: Optional[float],
+    max_attempts: int,
+) -> list:
+    """Run jobs with dead/hung-worker detection and resubmission.
+
+    Results land in input-index slots, and metric snapshots are merged in
+    input order only after every job has succeeded, so any pattern of
+    worker deaths aggregates to exactly the serial outcome.
+    """
+    from repro import obs
+
+    outcomes: List[Optional[tuple]] = [None] * len(arg_tuples)
+    pending = list(range(len(arg_tuples)))
+    attempt = 0
+    while pending:
+        attempt += 1
+        if attempt > max_attempts:
+            raise WorkerFailure(
+                f"{len(pending)} job(s) still unfinished after "
+                f"{max_attempts} rounds of worker failures"
+            )
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        futures = {}
+        broken = False
+        try:
+            for index in pending:
+                futures[
+                    executor.submit(
+                        _supervised_call, (fn, arg_tuples[index], collect_metrics)
+                    )
+                ] = index
+        except BrokenProcessPool:
+            broken = True
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        not_done = set(futures)
+        while not_done and not broken:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                obs.counter("parallel.hung_workers").inc()
+                broken = True
+                break
+            done, not_done = wait(
+                not_done, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            if not done:  # hung: nothing completed within the budget
+                obs.counter("parallel.hung_workers").inc()
+                broken = True
+                break
+            for future in done:
+                index = futures[future]
+                try:
+                    outcomes[index] = future.result()
+                except BrokenProcessPool:
+                    obs.counter("parallel.worker_deaths").inc()
+                    broken = True
+                except BaseException:
+                    # The job itself failed — that is the caller's bug (or
+                    # an injected `raise`), not infrastructure loss: stop
+                    # the pool and propagate instead of retrying.
+                    _kill_pool(executor)
+                    raise
+        if broken:
+            _kill_pool(executor)
+        else:
+            executor.shutdown(wait=True)
+        pending = [i for i in range(len(arg_tuples)) if outcomes[i] is None]
+        if pending and broken:
+            obs.counter("parallel.resubmissions").inc(len(pending))
+    results = []
+    for result, snapshot in outcomes:
+        if collect_metrics and snapshot is not None:
+            obs.merge(snapshot)
+        results.append(result)
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     n_workers: Optional[int] = None,
     chunksize: int = 1,
     collect_metrics: bool = False,
+    supervised: Optional[bool] = None,
+    timeout_s: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
 ) -> List[R]:
     """Order-preserving map over a process pool.
 
@@ -115,11 +261,18 @@ def parallel_map(
     callable for the parallel path.  With ``collect_metrics=True``, metrics
     the jobs record via :mod:`repro.obs` are shipped back as per-job
     snapshots and merged into this process's registry in input order.
+    ``supervised`` (default ``$REPRO_SUPERVISED``) detects dead/hung
+    workers and resubmits their jobs; see the module docstring.
     """
     workers = resolve_workers(n_workers)
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    if resolve_supervised(supervised):
+        return _run_supervised(
+            fn, [(item,) for item in items], workers, collect_metrics,
+            timeout_s, max_attempts,
+        )
     if collect_metrics:
         return _run_pool_collected(fn, [(item,) for item in items], workers, chunksize)
     with multiprocessing.Pool(min(workers, len(items))) as pool:
@@ -132,12 +285,19 @@ def parallel_starmap(
     n_workers: Optional[int] = None,
     chunksize: int = 1,
     collect_metrics: bool = False,
+    supervised: Optional[bool] = None,
+    timeout_s: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
 ) -> List[R]:
     """:func:`parallel_map` for functions of several arguments."""
     workers = resolve_workers(n_workers)
     jobs = list(arg_tuples)
     if workers <= 1 or len(jobs) <= 1:
         return [fn(*args) for args in jobs]
+    if resolve_supervised(supervised):
+        return _run_supervised(
+            fn, jobs, workers, collect_metrics, timeout_s, max_attempts
+        )
     if collect_metrics:
         return _run_pool_collected(fn, jobs, workers, chunksize)
     with multiprocessing.Pool(min(workers, len(jobs))) as pool:

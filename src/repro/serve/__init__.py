@@ -16,11 +16,13 @@ Public API:
 * server: :class:`PredictionServer`, :class:`ServerThread`
 * updates: :class:`ServingManager`
 * clients: :class:`ServeClient`, :class:`AsyncServeClient`,
-  :class:`LoadGenerator`, :func:`wait_for_server`
+  :class:`LoadGenerator`, :func:`wait_for_server` (retries per
+  :class:`repro.faults.RetryPolicy`, re-exported here)
 * assembly: :func:`build_service`, :func:`demo_dataset`,
   :func:`outlier_profiles`
 """
 
+from repro.faults import NO_RETRY, RetryPolicy
 from repro.serve.batching import (
     BatchConfig,
     BatchStats,
@@ -45,10 +47,13 @@ from repro.serve.registry import (
     PublishedModel,
     RegistryError,
 )
-from repro.serve.server import PredictionServer
+from repro.serve.server import FrameTooLarge, PredictionServer
 from repro.serve.testing import ServerThread
 
 __all__ = [
+    "NO_RETRY",
+    "RetryPolicy",
+    "FrameTooLarge",
     "BatchConfig",
     "BatchStats",
     "MicroBatcher",

@@ -32,7 +32,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 
 
 class QueueFullError(RuntimeError):
@@ -41,6 +41,17 @@ class QueueFullError(RuntimeError):
 
 class RequestTimeout(RuntimeError):
     """A queued request waited longer than its timeout."""
+
+
+# Let fault plans speak the server's failure vocabulary:
+# ``serve.dispatch=raise:queue_full`` makes the server answer 429,
+# ``raise:request_timeout`` answers 408 — without touching a real queue.
+faults.register_exception(
+    "queue_full", lambda site: QueueFullError(f"injected queue-full at {site!r}")
+)
+faults.register_exception(
+    "request_timeout", lambda site: RequestTimeout(f"injected timeout at {site!r}")
+)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -81,6 +81,7 @@ def build_service(
     seed: int = 0,
     batch_config: Optional[BatchConfig] = None,
     min_update_profiles: int = 10,
+    request_deadline_s: float = 30.0,
 ) -> Tuple[PredictionServer, ServingManager, ModelRegistry]:
     """Train, publish, and assemble a ready-to-start server.
 
@@ -111,6 +112,11 @@ def build_service(
         }
     )
     server = PredictionServer(
-        slot, host=host, port=port, batch_config=batch_config, manager=serving
+        slot,
+        host=host,
+        port=port,
+        batch_config=batch_config,
+        manager=serving,
+        request_deadline_s=request_deadline_s,
     )
     return server, serving, registry

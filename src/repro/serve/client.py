@@ -2,12 +2,24 @@
 
 * :class:`ServeClient` — a small blocking client over a plain socket.
   One instance per thread; used by the quickstart, the CLI smoke
-  round-trip, and anything that just wants an answer.
+  round-trip, and anything that just wants an answer.  Wraps every
+  request in a :class:`~repro.faults.RetryPolicy`: transport failures
+  (dropped/reset connections, per-attempt socket timeouts, corrupted
+  reply frames) tear the socket down, back off deterministically, and
+  retry on a fresh connection; retryable server statuses (408/429/500/
+  503 by default) back off without reconnecting.  Non-retryable server
+  errors (400/404...) raise :class:`ServeError` immediately.
 * :class:`AsyncServeClient` — asyncio streams, one in-flight request per
   connection; the load generator opens one per concurrent worker.
 * :class:`LoadGenerator` — drives a server at configurable concurrency
   and collects the latency distribution, throughput, and the server-side
   batch-occupancy histogram for ``BENCH_serve.json``.
+
+Retry caveat: a retried request is at-least-once delivery — a request
+that executed but whose reply was lost will execute again.  ``predict``
+ops are pure reads, so this is safe; for ``observe`` (which mutates
+update bookkeeping) pass ``retrying=NO_RETRY`` if duplicate delivery
+matters more than availability.
 
 Command-line smoke usage (used by CI against a detached server)::
 
@@ -27,7 +39,23 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
+from repro.faults import NO_RETRY, RetryPolicy
+
 _LENGTH = struct.Struct(">I")
+
+#: Exceptions that mean "this connection is no longer trustworthy": the
+#: socket is torn down and the next attempt reconnects.  Decode failures
+#: are included because a half/corrupt frame leaves the stream unframed.
+_TRANSPORT_ERRORS = (
+    ConnectionError,
+    socket.timeout,
+    OSError,
+    EOFError,
+    json.JSONDecodeError,
+    UnicodeDecodeError,
+    struct.error,
+)
 
 
 class ServeError(RuntimeError):
@@ -48,15 +76,50 @@ def _encode(payload: dict) -> bytes:
 
 
 class ServeClient:
-    """Blocking length-prefixed-JSON client.  Not thread-safe; one per thread."""
+    """Blocking length-prefixed-JSON client.  Not thread-safe; one per thread.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7654, timeout: float = 30.0):
+    A context manager: ``with ServeClient(...) as client:`` guarantees the
+    socket is closed however the block exits.  Any exception mid-request
+    also closes the socket immediately (a half-finished exchange leaves
+    the stream unframed, so the connection cannot be reused) — the next
+    request reconnects transparently.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7654,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sock: Optional[socket.socket] = None
+        self._connect()
+
+    # -- connection management ---------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            timeout = self.retry.attempt_timeout_s or self.timeout
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=timeout
+            )
+        return self._sock
+
+    def _teardown(self) -> None:
+        """Drop the socket; a later request reconnects."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
-        self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -64,19 +127,59 @@ class ServeClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def request(self, payload: dict) -> dict:
-        self._sock.sendall(_encode(payload))
-        header = self._recv_exact(_LENGTH.size)
-        (length,) = _LENGTH.unpack(header)
-        reply = json.loads(self._recv_exact(length).decode("utf-8"))
-        if not reply.get("ok", False):
-            raise ServeError(reply)
-        return reply
+    # -- requests ------------------------------------------------------------------
 
-    def _recv_exact(self, n: int) -> bytes:
+    def request(self, payload: dict, retrying: Optional[RetryPolicy] = None) -> dict:
+        """One request/reply exchange under the retry policy.
+
+        ``retrying`` overrides the client's policy per call (e.g.
+        ``NO_RETRY`` for non-idempotent ops).  Transport errors reconnect
+        before the next attempt; retryable server statuses back off on
+        the same connection; other ``ok: false`` replies raise
+        :class:`ServeError` at once.
+        """
+        policy = retrying if retrying is not None else self.retry
+        frame = _encode(payload)
+        failures = 0
+        for attempt, is_last in policy.attempts():
+            try:
+                reply = self._exchange(frame)
+            except _TRANSPORT_ERRORS:
+                # Mid-request failure: the stream may hold half a frame,
+                # so the socket must not be reused (this also plugs the
+                # old leak where an errored connection stayed open).
+                self._teardown()
+                if is_last:
+                    obs.counter("client.giveups").inc()
+                    raise
+                failures += 1
+                obs.counter("client.retries").inc()
+                policy.sleep(failures)
+                continue
+            if reply.get("ok", False):
+                return reply
+            status = int(reply.get("status", 500))
+            if is_last or not policy.retryable_status(status):
+                if is_last:
+                    obs.counter("client.giveups").inc()
+                raise ServeError(reply)
+            failures += 1
+            obs.counter("client.retries").inc()
+            policy.sleep(failures)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _exchange(self, frame: bytes) -> dict:
+        sock = self._connect()
+        sock.sendall(frame)
+        header = self._recv_exact(sock, _LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        return json.loads(self._recv_exact(sock, length).decode("utf-8"))
+
+    @staticmethod
+    def _recv_exact(sock: socket.socket, n: int) -> bytes:
         chunks = []
         while n:
-            chunk = self._sock.recv(n)
+            chunk = sock.recv(n)
             if not chunk:
                 raise ConnectionError("server closed the connection")
             chunks.append(chunk)
@@ -112,13 +215,22 @@ class ServeClient:
         rows = np.asarray(rows, dtype=float)
         return self.request({"op": "predict_batch", "rows": rows.tolist()})
 
-    def observe(self, application: str, profiles: Sequence[dict]) -> dict:
+    def observe(
+        self,
+        application: str,
+        profiles: Sequence[dict],
+        retrying: Optional[RetryPolicy] = None,
+    ) -> dict:
         return self.request(
-            {"op": "observe", "application": application, "profiles": list(profiles)}
+            {"op": "observe", "application": application, "profiles": list(profiles)},
+            retrying=retrying,
         )
 
     def shutdown(self) -> dict:
-        return self.request({"op": "shutdown"})
+        # Never retried: a lost reply almost certainly means the server
+        # already stopped, and re-sending would only wait out backoffs
+        # against a dead endpoint.
+        return self.request({"op": "shutdown"}, retrying=NO_RETRY)
 
 
 def wait_for_server(
@@ -128,11 +240,15 @@ def wait_for_server(
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
     while time.monotonic() < deadline:
+        client = None
         try:
-            client = ServeClient(host, port)
+            client = ServeClient(host, port, retry=NO_RETRY)
             client.ping()
+            client.retry = RetryPolicy()  # polling done: serve requests robustly
             return client
         except (OSError, ServeError) as exc:
+            if client is not None:
+                client.close()  # a connected-but-unhealthy client must not leak
             last_error = exc
             time.sleep(interval)
     raise TimeoutError(f"server at {host}:{port} not ready: {last_error}")

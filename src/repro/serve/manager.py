@@ -20,6 +20,16 @@ The flow mirrors the paper's inductive update policy:
    rebind: every in-flight batch keeps the version it started with, every
    later batch sees the new one — zero dropped requests, old-or-new only.
 
+**Failure policy**: an update that raises anywhere — re-specification,
+publish, swap — degrades gracefully to the last-good model.  The slot is
+only rebound after a successful publish, so the live snapshot is
+untouched by construction; the failure is recorded
+(``updates_failed`` / ``last_error`` in :meth:`ServingManager.stats_dict`,
+``serve.updates_failed`` in obs) and swallowed rather than left to die as
+an unobserved task exception.  Serving never stops because learning
+stumbled.  The ``serve.update`` fault site injects such failures in
+``tests/test_serve_chaos.py``.
+
 Swap safety and version monotonicity are asserted by
 ``tests/test_serve_manager.py``.
 """
@@ -33,7 +43,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.dataset import ProfileRecord
 from repro.core.updater import ModelManager, ObservationOutcome
 from repro.serve.batching import ModelSlot
@@ -48,6 +58,7 @@ class UpdateStats:
     updates_completed: int = 0
     updates_failed: int = 0
     last_published_version: int = 0
+    last_error: Optional[str] = None
 
 
 class ServingManager:
@@ -148,6 +159,7 @@ class ServingManager:
     async def _run_update(self) -> None:
         loop = asyncio.get_running_loop()
         try:
+            faults.site("serve.update")
             # The genetic re-specification (§3.3) — minutes of CPU at paper
             # scale — runs off-loop; predictions continue on the old
             # snapshot for its whole duration.
@@ -169,12 +181,17 @@ class ServingManager:
             self.slot.swap(receipt.version, model)
             self.stats.last_published_version = receipt.version
             self.stats.updates_completed += 1
+            self.stats.last_error = None
             obs.counter("serve.updates_completed").inc()
             obs.gauge("serve.model_version").set(receipt.version)
-        except Exception:
+        except Exception as exc:
+            # Graceful degradation: the slot still holds the last-good
+            # (version, model) snapshot — publish-then-swap means a failed
+            # update never half-applies.  Record and absorb; a raised
+            # exception here would only die unobserved in the task.
             self.stats.updates_failed += 1
+            self.stats.last_error = f"{type(exc).__name__}: {exc}"
             obs.counter("serve.updates_failed").inc()
-            raise
 
     # -- reporting -----------------------------------------------------------------
 
@@ -187,6 +204,7 @@ class ServingManager:
             "updates_failed": self.stats.updates_failed,
             "update_in_progress": self.update_in_progress,
             "last_published_version": self.stats.last_published_version,
+            "last_error": self.stats.last_error,
             "pending": {
                 app: self.manager.pending_profiles(app)
                 for app in self.manager.pending_applications

@@ -20,6 +20,18 @@ Guarantees:
   overwrites on a version collision, so concurrent publishers race safely);
   the ``LATEST`` pointer is swapped with ``os.replace``.  A reader never
   observes a half-written model.
+* **Crash-safe publish** — the temp file is ``fsync``\\ ed before the link
+  and the directory is ``fsync``\\ ed after it, so a version that became
+  visible is durable on disk, not just in the page cache.  A publisher
+  that dies inside the window (between temp write and link — the
+  ``registry.publish.link`` fault site) leaves only a torn ``.tmp-*``
+  artifact, never a half-published version.
+* **Quarantine on load** — torn artifacts are swept into a
+  ``quarantine/`` subdirectory when a registry is (re)opened, and a
+  latest-version load that hits a corrupt manifest quarantines it and
+  falls back to the newest *valid* predecessor.  A registry that
+  survived a crash or bit-rot keeps serving the last good model; the
+  damage is preserved for post-mortems instead of deleted.
 * **Validated load** — the payload round-trips through
   :func:`~repro.core.serialize.model_from_dict`, which verifies the schema
   version and SHA-256 checksum; corruption surfaces as
@@ -42,6 +54,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import faults, obs
 from repro.core.model import InferredModel
 from repro.core.serialize import (
     ModelFormatError,
@@ -58,9 +71,31 @@ _KEY_TOKEN = re.compile(r"[^A-Za-z0-9._-]+")
 #: Distinguishes temp files of concurrent publishers within one process.
 _TMP_COUNTER = itertools.count()
 
+#: Subdirectory (per registry key) where torn/corrupt artifacts are moved.
+QUARANTINE_DIR = "quarantine"
+
 
 class RegistryError(RuntimeError):
     """A registry operation failed (unknown key, missing version, ...)."""
+
+
+def _write_durable(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` and fsync it: survives a crash/power cut."""
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    try:
+        os.write(fd, text.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename/link inside it is durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _slug(token: str) -> str:
@@ -105,6 +140,32 @@ class ModelRegistry:
         self.cache_size = cache_size
         self._cache: "OrderedDict[Tuple[str, int], InferredModel]" = OrderedDict()
         self._lock = threading.Lock()
+        # Opening a registry is the crash-recovery point: any .tmp-*
+        # artifact on disk belonged to a publisher that died mid-publish
+        # (live temp files exist only inside a publish call).
+        self.recover()
+
+    # -- crash recovery ------------------------------------------------------------
+
+    def recover(self) -> List[Path]:
+        """Quarantine torn publish artifacts; returns the moved paths."""
+        moved = []
+        for entry_dir in self.root.iterdir():
+            if not entry_dir.is_dir() or entry_dir.name == QUARANTINE_DIR:
+                continue
+            for name in sorted(os.listdir(entry_dir)):
+                if name.startswith(".tmp-"):
+                    moved.append(self._quarantine(entry_dir / name))
+        return moved
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a damaged artifact aside (kept for post-mortem, never served)."""
+        qdir = path.parent / QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        target = qdir / f"{path.name.lstrip('.')}.{os.getpid()}-{next(_TMP_COUNTER)}"
+        os.replace(path, target)
+        obs.counter("registry.quarantined").inc()
+        return target
 
     # -- publishing ----------------------------------------------------------------
 
@@ -137,7 +198,13 @@ class ModelRegistry:
                 f".tmp-v{version:06d}-{os.getpid()}"
                 f"-{threading.get_ident()}-{next(_TMP_COUNTER)}.json"
             )
-            tmp.write_text(json.dumps(payload, indent=2))
+            # fsync before the link: once the version becomes visible its
+            # bytes are already durable, so no reader can see a name whose
+            # content a crash could still lose.
+            _write_durable(tmp, json.dumps(payload, indent=2))
+            # The crash window the quarantine sweep exists for: a publisher
+            # dying here leaves a durable-but-unlinked .tmp-* artifact.
+            faults.site("registry.publish.link")
             try:
                 # link-then-unlink instead of replace: linking onto an
                 # existing name fails, so two publishers racing for the
@@ -147,6 +214,7 @@ class ModelRegistry:
                 tmp.unlink()
                 continue
             tmp.unlink()
+            _fsync_dir(entry_dir)
             break
 
         self._point_latest(entry_dir, version)
@@ -210,14 +278,37 @@ class ModelRegistry:
     def load(
         self, key: ModelKey, version: Optional[int] = None
     ) -> Tuple[InferredModel, int]:
-        """Load ``key`` at ``version`` (``None`` means latest).
+        """Load ``key`` at ``version`` (``None`` means latest *valid*).
 
         Returns ``(model, version)``.  Validates the registry envelope and
         the model payload's schema version + checksum; corrupt entries raise
         :class:`~repro.core.serialize.ModelFormatError`.
+
+        A latest load (``version=None``) degrades gracefully: a corrupt
+        manifest is quarantined and the newest valid predecessor is served
+        instead; only when *no* published version validates does the first
+        corruption error propagate.  A pinned ``version`` is strict — the
+        caller asked for those exact bytes, so corruption raises.
         """
         if version is None:
-            version = self.latest_version(key)
+            # Honor the LATEST pointer (it may deliberately roll back), then
+            # degrade downward through older versions on corruption.
+            newest = self.latest_version(key)  # raises RegistryError if none
+            candidates = [v for v in reversed(self.versions(key)) if v <= newest]
+            first_error: Optional[ModelFormatError] = None
+            for candidate in candidates:
+                try:
+                    return self._load_version(key, candidate)
+                except ModelFormatError as exc:
+                    if first_error is None:
+                        first_error = exc
+                    self._quarantine(self.root / key.slug / f"v{candidate:06d}.json")
+            raise first_error
+        return self._load_version(key, version)
+
+    def _load_version(
+        self, key: ModelKey, version: int
+    ) -> Tuple[InferredModel, int]:
         cache_key = (key.slug, version)
         with self._lock:
             cached = self._cache.get(cache_key)
@@ -259,13 +350,15 @@ class ModelRegistry:
         return (existing[-1] + 1) if existing else 1
 
     def _point_latest(self, entry_dir: Path, version: int) -> None:
+        faults.site("registry.publish.latest")
         pointer = entry_dir / "LATEST"
         tmp = entry_dir / (
             f".tmp-LATEST-{os.getpid()}"
             f"-{threading.get_ident()}-{next(_TMP_COUNTER)}"
         )
-        tmp.write_text(f"{version}\n")
+        _write_durable(tmp, f"{version}\n")
         os.replace(tmp, pointer)
+        _fsync_dir(entry_dir)
 
     def _cache_put(self, cache_key: Tuple[str, int], model: InferredModel) -> None:
         # Caller holds self._lock.

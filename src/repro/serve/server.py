@@ -26,9 +26,27 @@ Operations (``{"op": ...}`` request, ``{"ok": true/false, ...}`` reply):
 ``shutdown``        graceful stop (used by the CLI smoke flow and tests).
 
 Error replies carry HTTP-flavored ``status`` codes: 400 malformed, 404
-unknown op, 408 request timeout, 429 queue full, 503 no model loaded,
-500 anything else.  Backpressure is load-shedding, not buffering: when the
+unknown op, 408 request timeout (batcher wait *or* the per-request
+deadline), 413 oversized frame, 429 queue full, 503 no model loaded, 500
+anything else.  Backpressure is load-shedding, not buffering: when the
 batcher queue is full the server answers 429 immediately.
+
+Degradation policy for damaged input: a frame whose *body* is corrupt
+(undecodable JSON) gets a structured 400 reply and the connection stays
+up — the length prefix was honored, so framing is intact and the next
+request parses normally.  A frame whose *length prefix* is implausible
+(over :data:`MAX_FRAME_BYTES`) gets a structured 413 reply and then a
+close, because a bogus length desynchronizes the stream and every
+subsequent byte would be garbage.  Every request is bounded by
+``request_deadline_s``: a dispatch that exceeds it (slow model, injected
+stall) is cancelled and answered with 408 instead of wedging the
+connection.
+
+Fault sites (armed via :mod:`repro.faults`): ``serve.read_frame``
+(delay/drop before reading), ``serve.dispatch`` (delay/raise inside
+request handling), ``serve.write_frame`` (corrupt/drop the reply frame —
+a drop writes half the frame then tears the connection, so clients
+observe a mid-frame EOF).
 """
 
 from __future__ import annotations
@@ -42,7 +60,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.serve.batching import (
     BatchConfig,
     MicroBatcher,
@@ -58,22 +76,45 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 _LENGTH = struct.Struct(">I")
 
 
+class FrameTooLarge(ValueError):
+    """A frame's length prefix exceeds :data:`MAX_FRAME_BYTES`.
+
+    Distinct from a JSON decode failure because the recovery differs: an
+    implausible length prefix means the stream can no longer be framed,
+    so the connection must close after the error reply.
+    """
+
+
 async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
-    """Read one length-prefixed JSON frame; ``None`` on clean EOF."""
+    """Read one length-prefixed JSON frame; ``None`` on clean EOF.
+
+    Raises :class:`FrameTooLarge` for an implausible length prefix and
+    :class:`json.JSONDecodeError` / :class:`UnicodeDecodeError` for a
+    corrupt body (framing intact — the caller may keep the connection).
+    """
+    await faults.site_async("serve.read_frame")
     try:
         header = await reader.readexactly(_LENGTH.size)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise ValueError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        raise FrameTooLarge(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
     body = await reader.readexactly(length)
     return json.loads(body.decode("utf-8"))
 
 
 def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    writer.write(_LENGTH.pack(len(body)) + body)
+    frame = _LENGTH.pack(len(body)) + body
+    try:
+        frame = faults.site("serve.write_frame", frame)
+    except faults.InjectedDrop:
+        # Torn mid-frame: ship half the reply, then let the drop tear the
+        # connection down — the client sees EOF inside a frame.
+        writer.write(frame[: max(1, len(frame) // 2)])
+        raise
+    writer.write(frame)
 
 
 @dataclasses.dataclass
@@ -94,12 +135,16 @@ class PredictionServer:
         port: int = 0,
         batch_config: Optional[BatchConfig] = None,
         manager=None,
+        request_deadline_s: float = 30.0,
     ):
+        if request_deadline_s <= 0:
+            raise ValueError("request_deadline_s must be > 0")
         self.slot = slot
         self.host = host
         self.port = port
         self.manager = manager  # Optional[ServingManager], wired by serve.manager
         self.batcher = MicroBatcher(slot, batch_config)
+        self.request_deadline_s = request_deadline_s
         self.stats = ServerStats()
         # Cached instrument handles: one dict lookup per server, not per
         # request (no-op singletons when $REPRO_OBS=0).
@@ -111,6 +156,9 @@ class PredictionServer:
         self._obs_errors = obs.counter("serve.errors")
         self._obs_rejected = obs.counter("serve.rejected_429")
         self._obs_connections = obs.counter("serve.connections")
+        self._obs_bad_frames = obs.counter("serve.bad_frames")
+        self._obs_deadline = obs.counter("serve.deadline_timeouts")
+        self._obs_dropped = obs.counter("serve.dropped_connections")
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopped = asyncio.Event()
         self._conn_tasks: set = set()
@@ -162,12 +210,31 @@ class PredictionServer:
             while True:
                 try:
                     request = await read_frame(reader)
-                except (ValueError, json.JSONDecodeError) as exc:
+                except FrameTooLarge as exc:
+                    # A bogus length prefix desynchronizes the stream:
+                    # reply with structure, then close — nothing after
+                    # this frame can be parsed.
+                    self.stats.errors += 1
+                    self._obs_errors.inc()
+                    self._obs_bad_frames.inc()
                     write_frame(
-                        writer, {"ok": False, "status": 400, "error": str(exc)}
+                        writer, {"ok": False, "status": 413, "error": str(exc)}
                     )
                     await writer.drain()
                     break
+                except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+                    # The length prefix was honored, only the body is
+                    # damaged — framing survives, so answer 400 and keep
+                    # serving this connection.
+                    self.stats.errors += 1
+                    self._obs_errors.inc()
+                    self._obs_bad_frames.inc()
+                    write_frame(
+                        writer,
+                        {"ok": False, "status": 400, "error": f"bad frame: {exc}"},
+                    )
+                    await writer.drain()
+                    continue
                 if request is None:
                     break
                 response = await self._dispatch(request)
@@ -175,6 +242,11 @@ class PredictionServer:
                 await writer.drain()
                 if request.get("op") == "shutdown":
                     break
+        except ConnectionError:
+            # Peer reset (or an injected drop) — count it and fall through
+            # to the close; per-request state is owned by the batcher and
+            # unaffected.
+            self._obs_dropped.inc()
         except asyncio.CancelledError:
             # Server shutdown cancels idle keep-alive readers; absorb the
             # cancellation so the task finishes cleanly instead of tripping
@@ -192,7 +264,22 @@ class PredictionServer:
     async def _dispatch(self, request: dict) -> dict:
         start = time.perf_counter()
         try:
-            return await self._dispatch_op(request)
+            # The per-request deadline: a dispatch that stalls (slow model,
+            # wedged executor, injected delay) is cancelled and answered
+            # with a structured 408 instead of silently holding the
+            # connection hostage.
+            return await asyncio.wait_for(
+                self._dispatch_op(request), self.request_deadline_s
+            )
+        except asyncio.TimeoutError:
+            self.stats.errors += 1
+            self._obs_errors.inc()
+            self._obs_deadline.inc()
+            return {
+                "ok": False,
+                "status": 408,
+                "error": f"request exceeded the {self.request_deadline_s}s deadline",
+            }
         finally:
             self._obs_latency.observe(time.perf_counter() - start)
 
@@ -201,6 +288,7 @@ class PredictionServer:
         self._obs_requests.inc()
         op = request.get("op")
         try:
+            await faults.site_async("serve.dispatch")
             if op == "ping":
                 return {"ok": True, "op": "ping"}
             if op == "info":
