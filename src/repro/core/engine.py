@@ -36,6 +36,7 @@ the same best specification on both paths.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -382,3 +383,77 @@ def evaluate_chunk(
         dataset, split_seed, weight=weight, train_fraction=train_fraction
     )
     return engine.evaluate_many(specs), engine.stats()
+
+
+class StoredDataset:
+    """An engine-facing dataset view whose arrays live in the mmap store.
+
+    Carries exactly what :class:`FitnessEngine` and
+    :func:`repro.core.fitness.derive_app_splits` consume — variable names,
+    the variables matrix, the target vector, and per-row application
+    labels — with the two arrays memory-mapped from :mod:`repro.store`
+    columns.  Shipping one to a pool worker via :mod:`repro.parallel`
+    therefore crosses the boundary as tiny column references: every worker
+    maps the same pages instead of unpickling its own copy of the dataset.
+    """
+
+    def __init__(self, variable_names, matrix, targets, labels):
+        self.variable_names = tuple(variable_names)
+        self._matrix = matrix
+        self._targets = targets
+        self._labels = tuple(str(label) for label in labels)
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    @property
+    def applications(self) -> Tuple[str, ...]:
+        """Application names in first-appearance order (as in
+        :class:`~repro.core.dataset.ProfileDataset`)."""
+        return tuple(dict.fromkeys(self._labels))
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def targets(self) -> np.ndarray:
+        return self._targets
+
+    def labels(self) -> np.ndarray:
+        return np.asarray(self._labels)
+
+
+def publish_dataset(dataset: ProfileDataset, store=None):
+    """Publish a dataset's arrays to the column store for chunk shipping.
+
+    Returns a :class:`StoredDataset` backed by mapped columns, or the
+    dataset unchanged when the store is disabled or unwritable.  Columns
+    are content-addressed, so republishing the same dataset is a no-op
+    and concurrent searches share the same pages.  The returned view is
+    evaluation-equivalent: the engine solves identical systems on it.
+    """
+    from repro import store as store_mod
+
+    if store is None:
+        if not store_mod.enabled():
+            return dataset
+        store = store_mod.Store()
+    matrix = np.ascontiguousarray(dataset.matrix(), dtype=float)
+    targets = np.ascontiguousarray(dataset.targets(), dtype=float)
+    labels = [str(label) for label in dataset.labels()]
+    digest = hashlib.sha256()
+    digest.update(matrix.tobytes())
+    digest.update(targets.tobytes())
+    digest.update("|".join(labels).encode())
+    digest.update("|".join(dataset.variable_names).encode())
+    key = digest.hexdigest()[:24]
+    try:
+        store.put(f"datasets/{key}/matrix", matrix)
+        store.put(f"datasets/{key}/targets", targets)
+        mapped_matrix = store.get(f"datasets/{key}/matrix")
+        mapped_targets = store.get(f"datasets/{key}/targets")
+    except store_mod.StoreError:
+        return dataset
+    obs.counter("store.datasets_published").inc()
+    return StoredDataset(
+        dataset.variable_names, mapped_matrix, mapped_targets, labels
+    )

@@ -74,9 +74,13 @@ def derive_app_splits(
     """
     if not 0.0 < train_fraction < 1.0:
         raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    # Group by the row-label vector rather than the record objects, so any
+    # dataset view exposing ``labels()`` — including the engine's
+    # store-backed :class:`repro.core.engine.StoredDataset` — derives the
+    # identical splits.
     groups: Dict[str, list] = {}
-    for i, record in enumerate(dataset):
-        groups.setdefault(record.application, []).append(i)
+    for i, label in enumerate(dataset.labels()):
+        groups.setdefault(str(label), []).append(i)
     splits: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     for app, group in groups.items():
         indices = np.array(group, dtype=int)

@@ -37,7 +37,7 @@ from repro.core.chromosome import (
     mutate_variable,
 )
 from repro.core.dataset import ProfileDataset
-from repro.core.engine import FitnessEngine, evaluate_chunk
+from repro.core.engine import FitnessEngine, evaluate_chunk, publish_dataset
 from repro.core.fitness import FitnessResult, derive_app_splits
 from repro.core.model import InferredModel
 from repro.parallel import parallel_starmap, resolve_workers
@@ -129,6 +129,7 @@ class GeneticSearch:
         self._split_seed = seed
         self._splits = None
         self._engine: Optional[FitnessEngine] = None
+        self._published = None
         self._memo: Dict[Chromosome, FitnessResult] = {}
         self.last_eval_stats: Dict[str, float] = {}
 
@@ -160,6 +161,7 @@ class GeneticSearch:
         self._split_seed = int(self.rng.integers(0, 2**31))
         self._splits = derive_app_splits(dataset, self._split_seed)
         self._engine = None
+        self._published = None
         self._memo = {}
         self.last_eval_stats = {
             "candidates_scored": 0,
@@ -300,8 +302,19 @@ class GeneticSearch:
             else:
                 n_chunks = min(self.n_workers, len(pending))
                 chunks = [pending[i::n_chunks] for i in range(n_chunks)]
+                # Publish the dataset's arrays to the mmap store once per
+                # search: each chunk then ships a StoredDataset whose
+                # matrix/targets cross the pool boundary as column
+                # references, not pickled copies.  With the store disabled
+                # this is the dataset itself, exactly as before.
+                if self._published is None:
+                    self._published = publish_dataset(dataset)
                 jobs = [
-                    (dataset, self._split_seed, [c.to_spec(names) for c in chunk])
+                    (
+                        self._published,
+                        self._split_seed,
+                        [c.to_spec(names) for c in chunk],
+                    )
                     for chunk in chunks
                 ]
                 # collect_metrics ships each chunk's obs snapshot back and

@@ -8,9 +8,11 @@ Every paper experiment runs at one of three scales:
   population 50, 20 generations); select with ``REPRO_SCALE=full``.
 
 Expensive artifacts (shard statistics, sampled profile datasets, genetic
-search results, SpMV simulations) are pickled under ``.cache/`` keyed by a
+search results, SpMV simulations) are cached under ``.cache/`` keyed by a
 hash of all generating parameters, so repeated benchmark runs are fast and
-reproducible.
+reproducible.  Large arrays inside an artifact live in the
+:mod:`repro.store` mmap column store; the pickle on disk holds small
+metadata plus column references.
 """
 
 from __future__ import annotations
@@ -18,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
-import pickle
 import sys
 import time
 from pathlib import Path
@@ -27,10 +28,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro import store as store_mod
 from repro.core import ProfileDataset, ProfileRecord
 from repro.parallel import parallel_map
 from repro.profiling import SOFTWARE_VARIABLE_NAMES
 from repro.profiling.shards import ShardProfile
+from repro.store.artifacts import dump_artifact, load_artifact
 from repro.uarch import HARDWARE_VARIABLE_NAMES, PipelineConfig, Simulator, sample_configs
 from repro.workloads import generate_trace, spec2006_suite
 
@@ -80,7 +83,14 @@ def cache_dir() -> Path:
 
 
 def cached(key: str, build: Callable[[], object], refresh: bool = False):
-    """Fetch-or-build a pickled artifact keyed by ``key``.
+    """Fetch-or-build a cached artifact keyed by ``key``.
+
+    Artifacts are written with the store-aware codec
+    (:func:`repro.store.dump_artifact`): small metadata stays in the
+    pickle, while large arrays are spilled to (or referenced from) the
+    mmap column store, so a cache hit maps pages instead of copying
+    megabytes through the unpickler.  Old plain-pickle cache files load
+    unchanged, and an unreadable artifact is rebuilt, not fatal.
 
     Every cache miss logs a one-line build-time summary to stderr, so the
     slow stages of a bench run are visible at a glance.
@@ -88,9 +98,16 @@ def cached(key: str, build: Callable[[], object], refresh: bool = False):
     digest = hashlib.sha256(key.encode()).hexdigest()[:24]
     path = cache_dir() / f"{digest}.pkl"
     if path.exists() and not refresh:
-        obs.counter("cache.hits").inc()
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
+        try:
+            value = load_artifact(path)
+        except Exception:
+            # Torn pickle or a missing/quarantined store column behind a
+            # reference: treat as a miss and rebuild below.
+            obs.counter("cache.load_failures").inc()
+        else:
+            obs.counter("cache.hits").inc()
+            obs.counter("cache.hit_bytes").inc(path.stat().st_size)
+            return value
     obs.counter("cache.misses").inc()
     start = time.perf_counter()
     value = build()
@@ -100,10 +117,8 @@ def cached(key: str, build: Callable[[], object], refresh: bool = False):
         f"[repro.cache] built {key} in {elapsed:.1f}s ({digest}.pkl)",
         file=sys.stderr,
     )
-    tmp = path.with_suffix(".tmp")
-    with open(tmp, "wb") as handle:
-        pickle.dump(value, handle)
-    tmp.replace(path)
+    dump_artifact(value, path)
+    obs.counter("cache.miss_bytes").inc(path.stat().st_size)
     return value
 
 
@@ -146,9 +161,35 @@ class GeneralStudy:
         if key not in self._shards:
             spec = spec or spec2006_suite()[application]
             n = self.scale.shards_per_app * SHARD_LENGTH
-            trace = generate_trace(spec, n, seed=self.seed, shard_length=SHARD_LENGTH)
+            trace = self._trace(application, spec, n)
             self._shards[key] = trace.shards(SHARD_LENGTH)
         return self._shards[key]
+
+    def _trace(self, application: str, spec, n: int):
+        """Generate — or memory-map — one application's full trace.
+
+        The trace is a deterministic function of (spec, length, seed,
+        shard length), so when the :mod:`repro.store` is enabled it is
+        published once as a columnar ``.npy`` and mapped on every later
+        request: dataset-builder workers (and repeated runs) share the
+        same pages instead of each regenerating the stream.
+        """
+        if not store_mod.enabled():
+            return generate_trace(spec, n, seed=self.seed, shard_length=SHARD_LENGTH)
+        store = store_mod.Store()
+        column = f"traces/{spec.name}/s{self.seed}-n{n}-l{SHARD_LENGTH}"
+        try:
+            data = store.get(column)
+        except store_mod.StoreError:
+            trace = generate_trace(spec, n, seed=self.seed, shard_length=SHARD_LENGTH)
+            store.put(column, trace.data)
+            try:
+                data = store.get(column)
+            except store_mod.StoreError:
+                return trace  # read-only store dir etc.: fall back in-memory
+        from repro.isa.trace import Trace
+
+        return Trace(data, spec.name)
 
     def profiles(self, application: str, spec=None) -> List[ShardProfile]:
         if application not in self._profiles:
@@ -163,8 +204,7 @@ class GeneralStudy:
 
     def warm_stats(self, application: str) -> None:
         """Precompute simulator statistics for an application's shards."""
-        for shard in self.shards(application):
-            self.simulator.stats_for(shard)
+        self.simulator.stats_for_many(self.shards(application))
 
     # -- profile-record construction ------------------------------------------------
 
@@ -223,11 +263,36 @@ def _build_app_records(
     worker process: the trace generation and simulator statistics it
     rebuilds are deterministic functions of (scale, seed, application).
     """
+    from repro.uarch.pipeline import simulate_cpi_batch
+
     study = GeneralStudy(scale, seed)
     with obs.span("dataset.build_app"):
+        shards = study.shards(application)
+        profiles = study.profiles(application)
+        # Group the pairs by shard so each shard's statistics feed one
+        # batched CPI pass (struct-of-arrays miss model across configs);
+        # records still come back in draw order, bit-identical to the
+        # per-pair loop.
+        by_shard: Dict[int, List[int]] = {}
+        for j, shard_index in enumerate(shard_indices):
+            by_shard.setdefault(int(shard_index), []).append(j)
+        stats_list = study.simulator.stats_for_many(
+            [shards[i] for i in sorted(by_shard)]
+        )
+        z = np.empty(len(configs))
+        for shard_index, stats in zip(sorted(by_shard), stats_list):
+            positions = by_shard[shard_index]
+            cpis = simulate_cpi_batch(stats, [configs[j] for j in positions])
+            z[positions] = cpis
         records = [
-            study.record(application, shard_index, config)
-            for config, shard_index in zip(configs, shard_indices)
+            ProfileRecord(
+                application,
+                profiles[shard_index].x,
+                config.as_vector(),
+                float(z[j]),
+                tag=f"{profiles[shard_index].key}/{config.key}",
+            )
+            for j, (config, shard_index) in enumerate(zip(configs, shard_indices))
         ]
     obs.counter("dataset.records_built").inc(len(records))
     return records

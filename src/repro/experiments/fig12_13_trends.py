@@ -58,29 +58,29 @@ def _space(matrix_name: str) -> SpMVSpace:
 
 
 def _trend_job(job):
-    """One cache's worth of simulations (picklable, deterministic).
+    """One kernel trace's worth of simulations (picklable, deterministic).
 
-    ``("grid", matrix, cache)`` evaluates every block size for Figure 12
-    and returns ``(r, c, mflops, fill_ratio)`` tuples;
-    ``("sweep", matrix, cache, r, c, field, values)`` sweeps one cache
-    parameter for Figure 13 and returns ``(value, mflops)`` tuples.
+    Jobs are shaped for the batched struct-of-arrays cache engine: each
+    pins one block size — one (memory-mapped) kernel trace — and batches
+    every cache through :meth:`SpMVSpace.evaluate_batch`.
+
+    ``("grid", matrix, r, c, caches)`` evaluates one block size on every
+    base cache for Figure 12 and returns ``(mflops, fill_ratio)`` tuples
+    in cache order; ``("sweep", matrix, cache, r, c, field, values)``
+    sweeps one cache parameter for Figure 13 and returns ``(value,
+    mflops)`` tuples.
     """
     kind = job[0]
     if kind == "grid":
-        _, matrix_name, cache = job
+        _, matrix_name, r, c, caches = job
         space = _space(matrix_name)
-        out = []
-        for r in BLOCK_SIZES:
-            for c in BLOCK_SIZES:
-                result = space.evaluate(r, c, cache)
-                out.append((r, c, result.mflops, result.fill_ratio))
-        return out
+        results = space.evaluate_batch(r, c, list(caches))
+        return [(result.mflops, result.fill_ratio) for result in results]
     _, matrix_name, cache, r, c, field, values = job
     space = _space(matrix_name)
-    return [
-        (v, space.evaluate(r, c, dataclasses.replace(cache, **{field: v})).mflops)
-        for v in values
-    ]
+    variants = [dataclasses.replace(cache, **{field: v}) for v in values]
+    results = space.evaluate_batch(r, c, variants)
+    return [(v, result.mflops) for v, result in zip(values, results)]
 
 
 @dataclasses.dataclass
@@ -125,23 +125,28 @@ def run(scale: Optional[Scale] = None, seed: int = 2012) -> TrendResult:
             ("dways", DWAYS_LEVELS),
             ("drepl", REPL_POLICIES),
         ]
-        jobs = [("grid", MATRIX, cache) for cache in bases]
+        block_grid = [(r, c) for r in BLOCK_SIZES for c in BLOCK_SIZES]
+        jobs = [("grid", MATRIX, r, c, bases) for r, c in block_grid]
         for field, values in axes:
             jobs += [
                 ("sweep", MATRIX, cache, r, c, field, values)
                 for cache, (r, c) in zip(bases, blocks)
             ]
         results = parallel_map(_trend_job, jobs)
-        grid_results = results[: len(bases)]
-        sweep_results = results[len(bases):]
+        grid_results = dict(zip(block_grid, results[: len(block_grid)]))
+        sweep_results = results[len(block_grid):]
 
         # --- Figure 12: all 64 block sizes on every base cache -----------------
+        # The batched jobs are grouped by block size, but the averages are
+        # accumulated cache-major — the exact order the original per-cache
+        # loop appended in — so every mean is bit-identical.
         evaluations = 0
         brow_sums: Dict[int, list] = {r: [] for r in BLOCK_SIZES}
         bcol_sums: Dict[int, list] = {c: [] for c in BLOCK_SIZES}
         fill_sums: Dict[str, list] = {_fill_label(lo): [] for lo, _ in FILL_BINS}
-        for grid in grid_results:
-            for r, c, mflops, fill_ratio in grid:
+        for cache_index in range(len(bases)):
+            for r, c in block_grid:
+                mflops, fill_ratio = grid_results[(r, c)][cache_index]
                 evaluations += 1
                 brow_sums[r].append(mflops)
                 bcol_sums[c].append(mflops)

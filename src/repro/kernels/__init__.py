@@ -1,0 +1,17 @@
+"""Struct-of-arrays batched kernels (see :mod:`repro.kernels.batched`)."""
+
+from repro.kernels.batched import (
+    expected_misses_batch,
+    miss_counts_hierarchy_batch,
+    simulate_caches,
+    stack_distances_many,
+    stack_distances_many_addresses,
+)
+
+__all__ = [
+    "expected_misses_batch",
+    "miss_counts_hierarchy_batch",
+    "simulate_caches",
+    "stack_distances_many",
+    "stack_distances_many_addresses",
+]

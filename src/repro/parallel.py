@@ -12,6 +12,10 @@ Design rules that keep every result identical at any worker count:
   reductions see results in the same order the serial loop would produce;
 * worker counts come from one place (:func:`resolve_workers`), so
   ``REPRO_WORKERS`` uniformly controls the whole pipeline;
+* job arguments backed by the :mod:`repro.store` mmap column store are
+  shipped as tiny column references instead of pickled arrays (see
+  :func:`_swizzle_jobs`) — workers re-map the same pages, the results
+  are unchanged;
 * metrics recorded by jobs (``repro.obs``) aggregate deterministically:
   with ``collect_metrics=True`` each job runs against a fresh registry in
   its worker, and the per-job snapshots are merged back into the parent's
@@ -102,6 +106,38 @@ def chunk_seeds(base_seed: int, n: int) -> List[int]:
     """
     children = np.random.SeedSequence(base_seed).spawn(n)
     return [int(child.generate_state(1)[0]) for child in children]
+
+
+def _thawed_call(fn, frozen: bytes):
+    """Worker shim for swizzled jobs: resolve store references, then call."""
+    from repro.store.artifacts import thaw
+
+    return fn(*thaw(frozen))
+
+
+def _swizzle_jobs(fn, jobs: List[tuple]) -> tuple:
+    """Replace store-backed arrays in job arguments with column references.
+
+    When the trace/dataset store is enabled and this process holds at
+    least one mapping, each job's argument tuple is frozen with the
+    store-aware pickler: arrays living in the store cross the pool
+    boundary as (root, key, offset) references and are re-mapped in the
+    worker — the processes share pages instead of shipping copies.
+    Arguments not backed by the store pickle by value exactly as before,
+    and when the store is disabled (or nothing is mapped) jobs are passed
+    through untouched.
+    """
+    from repro import store
+
+    if not (store.enabled() and store.any_mapped()):
+        return fn, jobs
+    from repro.store.artifacts import freeze
+
+    # No parent-side counter here: swizzling is transport, and a metric
+    # recorded only on the parallel path would break the "pool metrics ==
+    # serial metrics" invariant.  Store traffic is still visible through
+    # store.refs_frozen / store.maps.
+    return _thawed_call, [(fn, freeze(args)) for args in jobs]
 
 
 def _collected_call(job) -> tuple:
@@ -268,15 +304,16 @@ def parallel_map(
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    if resolve_supervised(supervised):
-        return _run_supervised(
-            fn, [(item,) for item in items], workers, collect_metrics,
-            timeout_s, max_attempts,
-        )
-    if collect_metrics:
-        return _run_pool_collected(fn, [(item,) for item in items], workers, chunksize)
-    with multiprocessing.Pool(min(workers, len(items))) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    return parallel_starmap(
+        fn,
+        [(item,) for item in items],
+        n_workers=workers,
+        chunksize=chunksize,
+        collect_metrics=collect_metrics,
+        supervised=supervised,
+        timeout_s=timeout_s,
+        max_attempts=max_attempts,
+    )
 
 
 def parallel_starmap(
@@ -294,6 +331,7 @@ def parallel_starmap(
     jobs = list(arg_tuples)
     if workers <= 1 or len(jobs) <= 1:
         return [fn(*args) for args in jobs]
+    fn, jobs = _swizzle_jobs(fn, jobs)
     if resolve_supervised(supervised):
         return _run_supervised(
             fn, jobs, workers, collect_metrics, timeout_s, max_attempts

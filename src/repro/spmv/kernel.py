@@ -53,6 +53,34 @@ class KernelTrace:
     code_bytes: int            # unrolled kernel footprint for the I-cache
 
 
+def kernel_scalars(bcsr: BCSRMatrix) -> tuple:
+    """``(n_instructions, true_flops, total_flops, code_bytes)`` of one pass.
+
+    Closed-form counts — no tracing loop — so a cached address stream
+    (e.g. a :mod:`repro.store` column) can be turned back into a full
+    :class:`KernelTrace` without re-tracing.
+    """
+    r, c = bcsr.r, bcsr.c
+    n_instructions = (
+        bcsr.n_blocks
+        * (
+            INSTRUCTIONS_PER_BLOCK_OVERHEAD
+            + r * c * (INSTRUCTIONS_PER_FLOP + INSTRUCTIONS_PER_VALUE_LOAD)
+            + c  # source loads
+        )
+        + bcsr.n_block_rows * (INSTRUCTIONS_PER_ROW_OVERHEAD + 2 * r)
+    )
+    # The unrolled kernel body grows with the block area (OSKI generates one
+    # specialized routine per r x c).
+    code_bytes = 96 + 20 * r * c
+    return (
+        int(n_instructions),
+        2 * bcsr.original_nnz,
+        2 * bcsr.stored_values,
+        code_bytes,
+    )
+
+
 def kernel_trace(bcsr: BCSRMatrix) -> KernelTrace:
     """Trace one full v += A u pass over a BCSR matrix."""
     r, c = bcsr.r, bcsr.c
@@ -92,23 +120,11 @@ def kernel_trace(bcsr: BCSRMatrix) -> KernelTrace:
         addresses[pos : pos + r] = dest  # store destinations
         pos += r
 
-    n_instructions = (
-        n_blocks
-        * (
-            INSTRUCTIONS_PER_BLOCK_OVERHEAD
-            + r * c * (INSTRUCTIONS_PER_FLOP + INSTRUCTIONS_PER_VALUE_LOAD)
-            + c  # source loads
-        )
-        + n_block_rows * (INSTRUCTIONS_PER_ROW_OVERHEAD + 2 * r)
-    )
-    # The unrolled kernel body grows with the block area (OSKI generates one
-    # specialized routine per r x c).
-    code_bytes = 96 + 20 * r * c
-
+    n_instructions, true_flops, total_flops, code_bytes = kernel_scalars(bcsr)
     return KernelTrace(
         addresses=addresses[:pos],
-        n_instructions=int(n_instructions),
-        true_flops=2 * bcsr.original_nnz,
-        total_flops=2 * bcsr.stored_values,
+        n_instructions=n_instructions,
+        true_flops=true_flops,
+        total_flops=total_flops,
         code_bytes=code_bytes,
     )

@@ -110,7 +110,44 @@ def run_trace(
         cache.dsize_kb * 1024, cache.line_bytes, cache.dways, cache.drepl, seed
     )
     data_misses = dcache.simulate(trace.addresses)
+    return _assemble_result(trace, fill_ratio, cache, int(data_misses))
 
+
+def run_trace_batch(
+    trace: KernelTrace,
+    fill_ratio: float,
+    caches: list[CacheConfig],
+    seed: int = 0,
+) -> list[SpMVResult]:
+    """:func:`run_trace` for many cache configurations of one trace.
+
+    Data-cache miss counts come from the batched struct-of-arrays
+    simulator (:func:`repro.kernels.batched.simulate_caches`): LRU
+    configurations sharing a (line size, set count) geometry share one
+    stack-distance pass, and randomized policies fall back to the exact
+    per-pair simulator with the same per-config seed — so every result
+    is bit-identical to a :func:`run_trace` call.
+    """
+    from repro.kernels.batched import simulate_caches
+
+    specs = [
+        (cache.dsize_kb * 1024, cache.line_bytes, cache.dways, cache.drepl)
+        for cache in caches
+    ]
+    data_misses = simulate_caches(trace.addresses, specs, seed=seed)
+    return [
+        _assemble_result(trace, fill_ratio, cache, int(misses))
+        for cache, misses in zip(caches, data_misses)
+    ]
+
+
+def _assemble_result(
+    trace: KernelTrace,
+    fill_ratio: float,
+    cache: CacheConfig,
+    data_misses: int,
+) -> SpMVResult:
+    """Timing/energy arithmetic downstream of the data-cache simulation."""
     # The unrolled kernel's code footprint either fits its cache (compulsory
     # misses only) or thrashes; with Table 5 geometries it always fits.
     icache_bytes = cache.isize_kb * 1024

@@ -13,10 +13,11 @@ semantic parameters replace thirteen instruction-level ones.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import store as store_mod
 from repro.core.dataset import ProfileDataset, ProfileRecord
 from repro.spmv.bcsr import BCSRMatrix, to_bcsr
 from repro.spmv.cache import (
@@ -24,7 +25,8 @@ from repro.spmv.cache import (
     SPMV_HARDWARE_NAMES,
     sample_cache_configs,
 )
-from repro.spmv.machine import SpMVResult, run_spmv
+from repro.spmv.kernel import KernelTrace, kernel_scalars, kernel_trace
+from repro.spmv.machine import SpMVResult, run_trace, run_trace_batch
 from repro.spmv.matrices import SparseMatrix
 
 SPMV_SOFTWARE_NAMES = ("x1", "x2", "x3")
@@ -50,6 +52,7 @@ class SpMVSpace:
         self.matrix = matrix
         self.seed = seed
         self._bcsr: Dict[Tuple[int, int], BCSRMatrix] = {}
+        self._traces: Dict[Tuple[int, int], KernelTrace] = {}
         self._results: Dict[Tuple[int, int, str], SpMVResult] = {}
 
     def bcsr(self, r: int, c: int) -> BCSRMatrix:
@@ -61,12 +64,84 @@ class SpMVSpace:
     def fill_ratio(self, r: int, c: int) -> float:
         return self.bcsr(r, c).fill_ratio
 
+    def trace(self, r: int, c: int) -> KernelTrace:
+        """The (memoized, store-backed) kernel trace for one block size.
+
+        The address stream is deterministic given the matrix and block
+        size, so it is published once to :mod:`repro.store` and
+        memory-mapped on every later request — across processes and runs
+        — instead of re-running the Python tracing loop.  The scalar
+        counts are recomputed in closed form from the BCSR conversion.
+        """
+        key = (r, c)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = self._load_or_trace(r, c)
+            self._traces[key] = trace
+        return trace
+
+    def _trace_column_key(self, r: int, c: int) -> str:
+        m = self.matrix
+        return (
+            f"spmv/{m.name}-{m.n_rows}x{m.n_cols}-nnz{m.nnz}/r{r}c{c}"
+        )
+
+    def _load_or_trace(self, r: int, c: int) -> KernelTrace:
+        if not store_mod.enabled():
+            return kernel_trace(self.bcsr(r, c))
+        store = store_mod.Store()
+        column = self._trace_column_key(r, c)
+        bcsr = self.bcsr(r, c)
+        try:
+            addresses = store.get(column)
+        except store_mod.StoreError:
+            trace = kernel_trace(bcsr)
+            store.put(column, trace.addresses)
+            # Serve the freshly published column as a mapping too, so
+            # downstream consumers (pool shipping) can swizzle it.
+            try:
+                addresses = store.get(column)
+            except store_mod.StoreError:
+                return trace
+        n_instructions, true_flops, total_flops, code_bytes = kernel_scalars(bcsr)
+        return KernelTrace(
+            addresses=addresses,
+            n_instructions=n_instructions,
+            true_flops=true_flops,
+            total_flops=total_flops,
+            code_bytes=code_bytes,
+        )
+
     def evaluate(self, r: int, c: int, cache: CacheConfig) -> SpMVResult:
         """Simulate (or recall) one (block size, cache) configuration."""
         key = (r, c, cache.key)
         if key not in self._results:
-            self._results[key] = run_spmv(self.bcsr(r, c), cache, self.seed)
+            self._results[key] = run_trace(
+                self.trace(r, c), self.fill_ratio(r, c), cache, self.seed
+            )
         return self._results[key]
+
+    def evaluate_batch(
+        self, r: int, c: int, caches: Sequence[CacheConfig]
+    ) -> List[SpMVResult]:
+        """Simulate many caches on one block size in one batched pass.
+
+        Results are bit-identical to per-cache :meth:`evaluate` calls and
+        land in the same memo, so the two entry points can be mixed.
+        """
+        pending = []
+        seen = set()
+        for cache in caches:
+            if (r, c, cache.key) not in self._results and cache.key not in seen:
+                seen.add(cache.key)
+                pending.append(cache)
+        if pending:
+            results = run_trace_batch(
+                self.trace(r, c), self.fill_ratio(r, c), pending, self.seed
+            )
+            for cache, result in zip(pending, results):
+                self._results[(r, c, cache.key)] = result
+        return [self._results[(r, c, cache.key)] for cache in caches]
 
     # -- dataset construction -------------------------------------------------------
 
@@ -92,14 +167,28 @@ class SpMVSpace:
         rng: np.random.Generator,
         target: str = "mflops",
     ) -> ProfileDataset:
-        """Randomly sample the integrated space into a profile dataset."""
+        """Randomly sample the integrated space into a profile dataset.
+
+        All block-size draws happen up front (the simulation consumes no
+        draws from ``rng``, so the draw sequence matches the historical
+        sample-then-evaluate loop exactly); evaluation is then grouped by
+        block size so each group runs through the batched cache
+        simulator.  Records are emitted in draw order — the dataset is
+        bit-identical to the per-pair construction.
+        """
         dataset = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
         caches = sample_cache_configs(min(n_samples, 2000), rng)
-        for i in range(n_samples):
-            r = int(rng.choice(BLOCK_SIZES))
-            c = int(rng.choice(BLOCK_SIZES))
-            cache = caches[i % len(caches)]
-            dataset.add(self.record(r, c, cache, target))
+        picks = [
+            (int(rng.choice(BLOCK_SIZES)), int(rng.choice(BLOCK_SIZES)))
+            for _ in range(n_samples)
+        ]
+        grouped: Dict[Tuple[int, int], List[int]] = {}
+        for i, pick in enumerate(picks):
+            grouped.setdefault(pick, []).append(i)
+        for (r, c), indices in grouped.items():
+            self.evaluate_batch(r, c, [caches[i % len(caches)] for i in indices])
+        for i, (r, c) in enumerate(picks):
+            dataset.add(self.record(r, c, caches[i % len(caches)], target))
         return dataset
 
     def topology(self, cache: CacheConfig) -> np.ndarray:

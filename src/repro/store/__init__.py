@@ -1,0 +1,277 @@
+"""``repro.store`` — a columnar, memory-mapped array store.
+
+The experiment pipeline repeatedly moves large numpy arrays — workload
+traces, SpMV kernel address streams, dataset design matrices — between
+the process that builds them and the worker processes that consume them.
+Before this module existed every crossing was a pickle round-trip (or a
+full re-generation in the worker).  The store replaces both with shared
+pages:
+
+* :meth:`Store.put` writes an array **once** as a standard ``.npy`` file
+  — to a temporary file first, fsync'd, then atomically renamed, so a
+  crash mid-write never leaves a torn column visible;
+* :meth:`Store.get` opens a column as a read-only :class:`numpy.memmap`.
+  Mappings are cached per process, so repeated opens of the same column
+  share one mapping (and, under the default ``fork`` start method,
+  worker processes inherit the parent's mappings outright — the OS page
+  cache backs every reader with the same physical pages);
+* :class:`ColumnHandle` is a tiny picklable reference that re-opens its
+  column lazily in whichever process unpickles it.  This is what
+  :mod:`repro.parallel` ships across the pool boundary instead of
+  materialized arrays (see :mod:`repro.store.artifacts` for the
+  reference-swizzling pickler).
+
+Layout: one ``.npy`` file per column under a root directory —
+``$REPRO_STORE_DIR``, else ``<$REPRO_CACHE_DIR or repo/.cache>/store``.
+Keys are relative slash-separated paths (``trace/astar-2012-240000``).
+Columns are write-once by default: a :meth:`Store.put` on an existing key
+is a no-op returning the existing handle, so concurrent builders race
+benignly (both write the same deterministic bytes; the rename is atomic).
+
+Set ``REPRO_STORE=0`` to disable the store globally: every call site in
+the pipeline falls back to its pre-store behavior (regeneration or
+pickling), which keeps results bit-identical either way.
+
+Observability: ``store.bytes_written``, ``store.bytes_mapped``,
+``store.maps`` / ``store.map_hits`` (page-share hit rate =
+``map_hits / (maps + map_hits)``), ``store.puts`` / ``store.put_skipped``
+and ``store.quarantined`` counters.  Fault sites ``store.open`` and
+``store.flush`` let chaos plans kill or corrupt the process at the two
+interesting moments; the atomic publish protocol keeps the store
+consistent either way (tested in ``tests/test_store.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import faults, obs
+
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+STORE_ENABLE_ENV = "REPRO_STORE"
+
+
+class StoreError(RuntimeError):
+    """The store could not complete an operation."""
+
+
+class MissingColumn(StoreError, KeyError):
+    """The requested column does not exist (or was quarantined as torn)."""
+
+
+#: Per-process cache of open mappings: absolute path -> read-only array.
+#: Shared across Store instances so every consumer of a column sees one
+#: mapping; forked workers inherit it.
+_MMAP_CACHE: Dict[str, np.ndarray] = {}
+
+#: Roots that have handed out mappings, longest first — used by
+#: :mod:`repro.store.artifacts` to recognize store-backed arrays.
+_ROOTS: Dict[str, Path] = {}
+
+
+def enabled() -> bool:
+    """Whether store-backed fast paths should be used (``REPRO_STORE``)."""
+    return os.environ.get(STORE_ENABLE_ENV, "").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+    )
+
+
+def default_root() -> Path:
+    """``$REPRO_STORE_DIR``, else ``<cache dir>/store``."""
+    root = os.environ.get(STORE_DIR_ENV)
+    if root:
+        return Path(root)
+    cache = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(cache) if cache else Path(__file__).resolve().parents[3] / ".cache"
+    return base / "store"
+
+
+def mapped_bytes() -> int:
+    """Total bytes of columns currently mapped in this process."""
+    return sum(arr.nbytes for arr in _MMAP_CACHE.values())
+
+
+def any_mapped() -> bool:
+    """True when this process holds at least one store mapping."""
+    return bool(_MMAP_CACHE)
+
+
+def _check_key(key: str) -> str:
+    if not key or key.startswith(("/", ".")) or ".." in key.split("/"):
+        raise StoreError(f"invalid store key {key!r}")
+    for segment in key.split("/"):
+        if not segment or segment != segment.strip():
+            raise StoreError(f"invalid store key {key!r}")
+    return key
+
+
+class ColumnHandle:
+    """A picklable, lazily resolved reference to one stored column.
+
+    Pickles to two short strings; :meth:`array` re-opens the memmap in
+    the unpickling process (sharing the per-process mapping cache).
+    """
+
+    __slots__ = ("root", "key")
+
+    def __init__(self, root: str, key: str):
+        self.root = str(root)
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"ColumnHandle({self.key!r} @ {self.root})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ColumnHandle)
+            and self.root == other.root
+            and self.key == other.key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.root, self.key))
+
+    def __getstate__(self) -> Tuple[str, str]:
+        return (self.root, self.key)
+
+    def __setstate__(self, state: Tuple[str, str]) -> None:
+        self.root, self.key = state
+
+    def array(self) -> np.ndarray:
+        """The column as a read-only memory-mapped array."""
+        return Store(self.root).get(self.key)
+
+
+class Store:
+    """One column store rooted at a directory (see module docstring)."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_root()
+        _ROOTS.setdefault(str(self.root.resolve()), self.root)
+
+    # -- paths ---------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / (_check_key(key) + ".npy")
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def handle(self, key: str) -> ColumnHandle:
+        return ColumnHandle(str(self.root), key)
+
+    # -- write ---------------------------------------------------------------------
+
+    def put(
+        self, key: str, array: np.ndarray, overwrite: bool = False
+    ) -> ColumnHandle:
+        """Write one column atomically; no-op if the key already exists.
+
+        The array is written to a sibling temporary file, flushed and
+        fsync'd, then renamed over the final path — a reader (or a crash)
+        can never observe a partially written column under ``key``.
+        """
+        path = self.path_for(key)
+        array = np.asarray(array)
+        if array.dtype.hasobject:
+            raise StoreError(f"cannot store object-dtype array under {key!r}")
+        if path.exists() and not overwrite:
+            obs.counter("store.put_skipped").inc()
+            return self.handle(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                np.lib.format.write_array(
+                    fh, np.ascontiguousarray(array), allow_pickle=False
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            # The kill/corrupt point chaos plans aim at: the column bytes
+            # are durable in the temp file but not yet visible.
+            faults.site("store.flush")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        _fsync_dir(path.parent)
+        _MMAP_CACHE.pop(str(path.resolve()), None)
+        obs.counter("store.puts").inc()
+        obs.counter("store.bytes_written").inc(array.nbytes)
+        return self.handle(key)
+
+    # -- read ----------------------------------------------------------------------
+
+    def get(self, key: str) -> np.ndarray:
+        """Open one column as a read-only memmap (cached per process)."""
+        path = self.path_for(key)
+        resolved = str(path.resolve()) if path.exists() else str(path)
+        cached = _MMAP_CACHE.get(resolved)
+        if cached is not None:
+            obs.counter("store.map_hits").inc()
+            return cached
+        faults.site("store.open")
+        try:
+            array = np.load(path, mmap_mode="r", allow_pickle=False)
+        except FileNotFoundError:
+            raise MissingColumn(key) from None
+        except Exception as exc:  # torn header / truncated data region
+            self._quarantine(path)
+            raise MissingColumn(f"{key} (torn: {exc})") from None
+        _MMAP_CACHE[resolved] = array
+        obs.counter("store.maps").inc()
+        obs.counter("store.bytes_mapped").inc(array.nbytes)
+        return array
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable column aside so a rebuild can republish."""
+        try:
+            path.replace(path.with_name(path.name + f".torn-{os.getpid()}"))
+            obs.counter("store.quarantined").inc()
+        except OSError:
+            pass
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (durable rename)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+from repro.store.artifacts import (  # noqa: E402  (re-export; avoids import cycle)
+    dump_artifact,
+    freeze,
+    load_artifact,
+    thaw,
+)
+
+__all__ = [
+    "ColumnHandle",
+    "MissingColumn",
+    "STORE_DIR_ENV",
+    "STORE_ENABLE_ENV",
+    "Store",
+    "StoreError",
+    "any_mapped",
+    "default_root",
+    "dump_artifact",
+    "enabled",
+    "freeze",
+    "load_artifact",
+    "mapped_bytes",
+    "thaw",
+]

@@ -1,0 +1,207 @@
+"""Reference-swizzling pickling on top of :mod:`repro.store`.
+
+Two closely related jobs live here:
+
+**freeze / thaw** — the pool-boundary codec used by :mod:`repro.parallel`.
+:func:`freeze` pickles an object graph, but any numpy array whose memory
+is backed by a store column (including C-contiguous views such as trace
+shards sliced out of a mapped column) is replaced by a tiny persistent
+reference ``(root, key, element offset, shape)``.  :func:`thaw` re-slices
+the same column out of the receiving process's mapping cache.  Large
+arrays therefore cross the boundary as a few dozen bytes and every
+process reads the same physical pages; arrays that do *not* live in the
+store pickle by value exactly as before.
+
+**dump_artifact / load_artifact** — the artifact-cache codec used by
+``repro.experiments.common.cached``.  Same column swizzling, plus large
+ordinary arrays (>= :data:`SPILL_THRESHOLD` bytes) are *spilled* into the
+store as content-addressed blobs (``blob/<sha256>``) instead of being
+embedded in the pickle.  The ``.pkl`` file shrinks to metadata, repeated
+dumps of identical arrays dedupe for free (column puts are write-once),
+and a later load memory-maps the blobs instead of re-materializing them.
+Artifact files written by the old plain-``pickle`` cache load unchanged —
+``persistent_load`` is simply never invoked on them.
+
+Thawed/loaded arrays are **read-only** memmap views; every consumer in
+this codebase treats its inputs as immutable (callers that need to
+mutate must copy, as numpy will readily remind them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+
+#: Arrays at or above this many bytes are spilled to content-addressed
+#: store blobs by :func:`dump_artifact` instead of being pickled inline.
+SPILL_THRESHOLD = 64 * 1024
+
+_COL_TAG = "repro.store/col"
+_BLOB_TAG = "repro.store/blob"
+
+
+def _locate_column(path: Path) -> Optional[Tuple[str, str]]:
+    """Map an absolute ``.npy`` path back to a registered (root, key)."""
+    from repro.store import _ROOTS
+
+    target = str(path)
+    if not target.endswith(".npy"):
+        return None
+    best = None
+    for root in _ROOTS:
+        if target.startswith(root + os.sep) and (
+            best is None or len(root) > len(best)
+        ):
+            best = root
+    if best is None:
+        return None
+    key = os.path.relpath(target, best)[: -len(".npy")].replace(os.sep, "/")
+    return best, key
+
+
+def _column_ref(obj: np.ndarray) -> Optional[tuple]:
+    """Persistent reference for a store-backed array, or None.
+
+    Only C-contiguous same-dtype views can be expressed as (offset, shape)
+    into the flat column; anything else falls back to pickling by value.
+    """
+    # Walk to the root array owning the pages.  Slices of a memmap are
+    # themselves np.memmap instances, so keep walking while .base is still
+    # an ndarray; the root's .base is the raw mmap buffer.
+    base = obj
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    if not isinstance(base, np.memmap):
+        return None
+    filename = getattr(base, "filename", None)
+    if not filename:
+        return None
+    located = _locate_column(Path(filename).resolve())
+    if located is None:
+        return None
+    if obj.dtype != base.dtype or not obj.flags["C_CONTIGUOUS"]:
+        return None
+    itemsize = obj.dtype.itemsize
+    if itemsize == 0:
+        return None
+    byte_off = obj.__array_interface__["data"][0] - base.__array_interface__["data"][0]
+    if byte_off < 0 or byte_off % itemsize:
+        return None
+    offset = byte_off // itemsize
+    if offset + obj.size > base.size:
+        return None
+    root, key = located
+    obs.counter("store.refs_frozen").inc()
+    obs.counter("store.ref_bytes_saved").inc(obj.nbytes)
+    return (_COL_TAG, root, key, int(offset), tuple(obj.shape))
+
+
+class _SwizzlePickler(pickle.Pickler):
+    """Pickler that emits store references for store-backed arrays.
+
+    With ``spill_store`` set it additionally spills large ordinary arrays
+    into content-addressed blobs (artifact mode).
+    """
+
+    def __init__(self, file, spill_store=None, spill_threshold=SPILL_THRESHOLD):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._spill_store = spill_store
+        self._spill_threshold = spill_threshold
+
+    def persistent_id(self, obj: Any):
+        if not isinstance(obj, np.ndarray) or isinstance(obj, np.generic):
+            return None
+        ref = _column_ref(obj)
+        if ref is not None:
+            return ref
+        if (
+            self._spill_store is not None
+            and not obj.dtype.hasobject
+            and obj.nbytes >= self._spill_threshold
+        ):
+            contiguous = np.ascontiguousarray(obj)
+            digest = hashlib.sha256()
+            digest.update(contiguous.dtype.str.encode())
+            digest.update(repr(contiguous.shape).encode())
+            digest.update(contiguous.data if contiguous.size else b"")
+            key = f"blob/{digest.hexdigest()}"
+            handle = self._spill_store.put(key, contiguous)
+            obs.counter("artifact.blobs_spilled").inc()
+            obs.counter("artifact.bytes_spilled").inc(contiguous.nbytes)
+            return (_BLOB_TAG, handle.root, handle.key)
+        return None
+
+
+class _SwizzleUnpickler(pickle.Unpickler):
+    def persistent_load(self, pid: Any):
+        from repro.store import Store
+
+        if isinstance(pid, tuple) and pid and pid[0] == _COL_TAG:
+            _, root, key, offset, shape = pid
+            column = Store(root).get(key)
+            count = 1
+            for dim in shape:
+                count *= dim
+            return column.reshape(-1)[offset : offset + count].reshape(shape)
+        if isinstance(pid, tuple) and pid and pid[0] == _BLOB_TAG:
+            _, root, key = pid
+            return Store(root).get(key)
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def freeze(obj: Any) -> bytes:
+    """Pickle ``obj`` with store-backed arrays replaced by references."""
+    buffer = io.BytesIO()
+    _SwizzlePickler(buffer).dump(obj)
+    return buffer.getvalue()
+
+
+def thaw(data: bytes) -> Any:
+    """Inverse of :func:`freeze`; resolves references via the map cache."""
+    return _SwizzleUnpickler(io.BytesIO(data)).load()
+
+
+def dump_artifact(
+    obj: Any,
+    path: os.PathLike,
+    store=None,
+    spill_threshold: int = SPILL_THRESHOLD,
+) -> None:
+    """Write an artifact file: swizzled pickle + store-spilled big arrays.
+
+    The file itself is published atomically (tmp + rename) like a column.
+    Pass ``store=None`` with the store disabled to write a swizzle-free
+    plain pickle.
+    """
+    from repro import store as store_mod
+
+    if store is None and store_mod.enabled():
+        store = store_mod.Store()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            _SwizzlePickler(fh, spill_store=store, spill_threshold=spill_threshold).dump(
+                obj
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def load_artifact(path: os.PathLike) -> Any:
+    """Load an artifact written by :func:`dump_artifact` (or plain pickle)."""
+    with open(path, "rb") as fh:
+        return _SwizzleUnpickler(fh).load()

@@ -25,6 +25,7 @@ MSHR x L2 size, ...).
 from __future__ import annotations
 
 import dataclasses
+from typing import List, Sequence
 
 import numpy as np
 
@@ -74,6 +75,36 @@ def _fu_units(config: PipelineConfig) -> np.ndarray:
 
 def cycle_breakdown(stats: ShardStats, config: PipelineConfig) -> CycleBreakdown:
     """Compute the cycle components of ``stats`` on ``config``."""
+    l1d_blocks = config.dcache_kb * 1024 // CACHE_BLOCK_BYTES
+    l2_blocks = config.l2_kb * 1024 // CACHE_BLOCK_BYTES
+    l1i_blocks = config.icache_kb * 1024 // CACHE_BLOCK_BYTES
+    l1d_miss, l2d_miss = miss_counts_hierarchy(
+        stats.data_stack, l1d_blocks, config.l1_assoc, l2_blocks, config.l2_assoc
+    )
+    l1i_miss, l2i_miss = miss_counts_hierarchy(
+        stats.inst_stack, l1i_blocks, config.l1_assoc, l2_blocks, config.l2_assoc
+    )
+    return _breakdown_from_misses(
+        stats, config, l1d_miss, l2d_miss, l1i_miss, l2i_miss
+    )
+
+
+def _breakdown_from_misses(
+    stats: ShardStats,
+    config: PipelineConfig,
+    l1d_miss: float,
+    l2d_miss: float,
+    l1i_miss: float,
+    l2i_miss: float,
+) -> CycleBreakdown:
+    """Cycle components given pre-computed hierarchy miss counts.
+
+    Shared by the per-pair path (misses from
+    :func:`miss_counts_hierarchy`) and the batched path (misses from
+    :func:`repro.kernels.batched.miss_counts_hierarchy_batch`) — the two
+    produce bit-identical miss counts, so the assembled components match
+    exactly too.
+    """
     n = stats.n
     counts = stats.opclass_counts.astype(float)
 
@@ -88,11 +119,6 @@ def cycle_breakdown(stats: ShardStats, config: PipelineConfig) -> CycleBreakdown
     branch = stats.mispredicts * penalty
 
     # --- 3. data memory hierarchy --------------------------------------------------
-    l1d_blocks = config.dcache_kb * 1024 // CACHE_BLOCK_BYTES
-    l2_blocks = config.l2_kb * 1024 // CACHE_BLOCK_BYTES
-    l1d_miss, l2d_miss = miss_counts_hierarchy(
-        stats.data_stack, l1d_blocks, config.l1_assoc, l2_blocks, config.l2_assoc
-    )
     l2_hits = l1d_miss - l2d_miss
 
     data_memory = 0.0
@@ -114,10 +140,6 @@ def cycle_breakdown(stats: ShardStats, config: PipelineConfig) -> CycleBreakdown
         data_memory = (l2_hits * l2_exposed + l2d_miss * mem_exposed) / mlp
 
     # --- 4. instruction memory -----------------------------------------------------
-    l1i_blocks = config.icache_kb * 1024 // CACHE_BLOCK_BYTES
-    l1i_miss, l2i_miss = miss_counts_hierarchy(
-        stats.inst_stack, l1i_blocks, config.l1_assoc, l2_blocks, config.l2_assoc
-    )
     inst_memory = (l1i_miss - l2i_miss) * config.l2_latency + l2i_miss * MEMORY_LATENCY
 
     return CycleBreakdown(
@@ -128,6 +150,58 @@ def cycle_breakdown(stats: ShardStats, config: PipelineConfig) -> CycleBreakdown
     )
 
 
+def cycle_breakdown_batch(
+    stats: ShardStats, configs: Sequence[PipelineConfig]
+) -> List[CycleBreakdown]:
+    """:func:`cycle_breakdown` for many configurations of one shard.
+
+    The expensive part — the analytic miss model's histogram pass over
+    the shard's stack distances — runs once per *distinct* cache
+    geometry via :func:`repro.kernels.batched.miss_counts_hierarchy_batch`
+    instead of once per configuration; the cheap per-config assembly
+    arithmetic is unchanged, so every component is bit-identical to the
+    per-pair path.
+    """
+    from repro.kernels.batched import miss_counts_hierarchy_batch
+
+    if not configs:
+        return []
+    l1d_blocks = np.array(
+        [c.dcache_kb * 1024 // CACHE_BLOCK_BYTES for c in configs], dtype=np.int64
+    )
+    l1i_blocks = np.array(
+        [c.icache_kb * 1024 // CACHE_BLOCK_BYTES for c in configs], dtype=np.int64
+    )
+    l2_blocks = np.array(
+        [c.l2_kb * 1024 // CACHE_BLOCK_BYTES for c in configs], dtype=np.int64
+    )
+    l1_assoc = np.array([c.l1_assoc for c in configs], dtype=np.int64)
+    l2_assoc = np.array([c.l2_assoc for c in configs], dtype=np.int64)
+
+    l1d, l2d = miss_counts_hierarchy_batch(
+        stats.data_stack, l1d_blocks, l1_assoc, l2_blocks, l2_assoc
+    )
+    l1i, l2i = miss_counts_hierarchy_batch(
+        stats.inst_stack, l1i_blocks, l1_assoc, l2_blocks, l2_assoc
+    )
+    return [
+        _breakdown_from_misses(
+            stats, config, float(l1d[j]), float(l2d[j]), float(l1i[j]), float(l2i[j])
+        )
+        for j, config in enumerate(configs)
+    ]
+
+
 def simulate_cpi(stats: ShardStats, config: PipelineConfig) -> float:
     """Cycles per instruction of one shard on one configuration."""
     return cycle_breakdown(stats, config).total / stats.n
+
+
+def simulate_cpi_batch(
+    stats: ShardStats, configs: Sequence[PipelineConfig]
+) -> np.ndarray:
+    """CPI of one shard on many configurations (batched miss model)."""
+    return np.array(
+        [b.total / stats.n for b in cycle_breakdown_batch(stats, configs)],
+        dtype=float,
+    )

@@ -11,7 +11,7 @@ distributions (DESIGN.md §1).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -70,6 +70,50 @@ def compute_shard_stats(shard: Trace) -> ShardStats:
             rob: _dataflow_cycles(shard, rob) for rob in ROB_LEVELS
         },
     )
+
+
+def compute_shard_stats_many(shards: Sequence[Trace]) -> List[ShardStats]:
+    """:func:`compute_shard_stats` for many shards, batched.
+
+    The data and instruction stack-distance passes of all shards run
+    through :func:`repro.kernels.batched.stack_distances_many` — one
+    vectorized pass per chunk instead of one per stream — producing
+    bit-identical distances (and therefore identical sorted stacks).
+    The dataflow schedules remain per-shard; they are inherently
+    sequential.
+    """
+    from repro.kernels.batched import stack_distances_many_addresses
+
+    if not shards:
+        return []
+    for shard in shards:
+        if len(shard) == 0:
+            raise ValueError("cannot compute statistics for an empty shard")
+    mem_addrs = [shard.addr[shard.memory_mask()] for shard in shards]
+    stacks = stack_distances_many_addresses(
+        [*mem_addrs, *(shard.iaddr for shard in shards)], block_bytes=64
+    )
+    out: List[ShardStats] = []
+    for i, shard in enumerate(shards):
+        data_stack = stacks[i][0]
+        inst_stack = stacks[len(shards) + i][0]
+        out.append(
+            ShardStats(
+                name=shard.name,
+                n=len(shard),
+                opclass_counts=shard.opclass_counts(),
+                taken=int(shard.taken.sum()),
+                mispredicts=int(shard.miss.sum()),
+                data_stack=np.sort(data_stack),
+                inst_stack=np.sort(inst_stack),
+                n_data_accesses=len(mem_addrs[i]),
+                n_inst_accesses=len(shard),
+                dataflow_cycles={
+                    rob: _dataflow_cycles(shard, rob) for rob in ROB_LEVELS
+                },
+            )
+        )
+    return out
 
 
 def _dataflow_cycles(shard: Trace, window: int) -> float:

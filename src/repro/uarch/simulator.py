@@ -8,8 +8,17 @@ import numpy as np
 
 from repro.isa.trace import Trace
 from repro.uarch.config import PipelineConfig
-from repro.uarch.pipeline import CycleBreakdown, cycle_breakdown, simulate_cpi
-from repro.uarch.shardstats import ShardStats, compute_shard_stats
+from repro.uarch.pipeline import (
+    CycleBreakdown,
+    cycle_breakdown,
+    simulate_cpi,
+    simulate_cpi_batch,
+)
+from repro.uarch.shardstats import (
+    ShardStats,
+    compute_shard_stats,
+    compute_shard_stats_many,
+)
 
 
 class Simulator:
@@ -33,9 +42,31 @@ class Simulator:
             self._stats[shard.name] = stats
         return stats
 
+    def stats_for_many(self, shards: Sequence[Trace]) -> list:
+        """Statistics for many shards; uncached ones computed batched.
+
+        The batched stack-distance pass produces bit-identical statistics
+        to :meth:`stats_for`, so mixing the two entry points is safe.
+        """
+        missing = [
+            s
+            for s in shards
+            if (st := self._stats.get(s.name)) is None or st.n != len(s)
+        ]
+        if missing:
+            for shard, stats in zip(missing, compute_shard_stats_many(missing)):
+                self._stats[shard.name] = stats
+        return [self._stats[s.name] for s in shards]
+
     def cpi(self, shard: Trace, config: PipelineConfig) -> float:
         """Cycles per instruction of ``shard`` on ``config``."""
         return simulate_cpi(self.stats_for(shard), config)
+
+    def cpi_batch(
+        self, shard: Trace, configs: Sequence[PipelineConfig]
+    ) -> np.ndarray:
+        """CPI of ``shard`` on many configs (batched miss model)."""
+        return simulate_cpi_batch(self.stats_for(shard), configs)
 
     def breakdown(self, shard: Trace, config: PipelineConfig) -> CycleBreakdown:
         """Cycle-component breakdown of ``shard`` on ``config``."""
@@ -47,11 +78,10 @@ class Simulator:
         configs: Sequence[PipelineConfig],
     ) -> np.ndarray:
         """CPI for every (shard, config) pair, shaped (len(shards), len(configs))."""
-        stats = [self.stats_for(s) for s in shards]
+        stats = self.stats_for_many(shards)
         out = np.empty((len(shards), len(configs)), dtype=float)
         for i, st in enumerate(stats):
-            for j, cfg in enumerate(configs):
-                out[i, j] = simulate_cpi(st, cfg)
+            out[i, :] = simulate_cpi_batch(st, configs)
         return out
 
     def application_cpi(
