@@ -5,7 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig05 [--scale small|bench|full]
     python -m repro.experiments all  [--scale small|bench|full]
-    python -m repro.experiments serve [--port 7654] [--registry DIR]
+    python -m repro.experiments serve [--port 7654] [--registry DIR] [--shards N]
 
 Each experiment prints the rows/series of the corresponding paper table or
 figure and writes the same report to ``reports/<id>.txt`` (an ignored
@@ -107,6 +107,21 @@ def serve_main(argv) -> int:
         "--max-latency-ms", type=float, default=2.0, help="batching tick length"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve from this many worker processes behind one port "
+        "(1 = classic single-process server)",
+    )
+    parser.add_argument(
+        "--reuse-port",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="multi-shard accept strategy: kernel SO_REUSEPORT balancing "
+        "('on'), the round-robin router fallback ('off'), or probe the "
+        "platform ('auto', the default)",
+    )
+    parser.add_argument(
         "--metrics-dump",
         action="store_true",
         help="instead of starting a server, fetch the metrics of the one "
@@ -121,6 +136,11 @@ def serve_main(argv) -> int:
         with ServeClient(args.host, args.port) as client:
             sys.stdout.write(client.metrics_prometheus())
         return 0
+
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.shards > 1:
+        return _serve_sharded(args)
 
     print("bootstrapping demo model (genetic search)...", flush=True)
     server, serving, _ = build_service(
@@ -155,6 +175,71 @@ def serve_main(argv) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _serve_sharded(args) -> int:
+    """``serve --shards N``: the multi-process fleet, draining on SIGTERM.
+
+    The supervisor runs until SIGTERM/SIGINT, then fans the stop out:
+    flush per-shard + merged metrics JSONL, gracefully drain every worker
+    (in-flight requests finish; see ``ShardSupervisor.drain``), and exit 0
+    so process managers read the shutdown as clean.
+    """
+    import signal
+    import threading
+
+    from repro.serve import BatchConfig, build_sharded_service, demo_dataset
+
+    reuse = {"auto": None, "on": True, "off": False}[args.reuse_port]
+    print(
+        f"bootstrapping demo model (genetic search) for {args.shards} shards...",
+        flush=True,
+    )
+    supervisor = build_sharded_service(
+        demo_dataset(seed=args.seed),
+        args.registry,
+        n_shards=args.shards,
+        space=args.space,
+        application=args.application,
+        host=args.host,
+        port=args.port,
+        reuse_port=reuse,
+        generations=args.generations,
+        population_size=args.population_size,
+        seed=args.seed,
+        batch_config=BatchConfig(
+            max_batch=args.max_batch,
+            max_latency_s=args.max_latency_ms / 1000.0,
+        ),
+    )
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+
+    supervisor.start()
+    try:
+        print(
+            f"serving {args.space}/{args.application} "
+            f"v{supervisor.serving.slot.version} on {args.host}:{supervisor.port} "
+            f"({args.shards} shards, {supervisor.mode} mode; SIGTERM drains)",
+            flush=True,
+        )
+        stop.wait()
+        print("draining fleet...", flush=True)
+        report_dir = obs.default_report_dir()
+        if report_dir is not None:
+            try:
+                path = supervisor.flush_metrics(
+                    report_dir / "metrics_serve_shards.jsonl"
+                )
+                print(f"[metrics] {path}", flush=True)
+            except Exception as exc:  # metrics must never block the drain
+                print(f"[metrics] flush failed: {exc}", flush=True)
+    finally:
+        supervisor.drain()
+    print("fleet drained, exiting", flush=True)
     return 0
 
 

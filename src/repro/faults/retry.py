@@ -23,6 +23,7 @@ retrying its faults caused.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import random
 import time
 from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple, Type, TypeVar
@@ -86,6 +87,23 @@ class RetryPolicy:
 
     def retryable_status(self, status: int) -> bool:
         return status in self.retry_statuses
+
+    def derive(self, salt) -> "RetryPolicy":
+        """This policy with its jitter stream re-seeded from ``(seed, salt)``.
+
+        The derived seed is the first 8 bytes of
+        ``sha256("<seed>:<salt>")`` — a pure function of the parent seed
+        and the salt, so two callers that derive with the same salt see
+        the same backoff schedule, while different salts decorrelate
+        their jitter (no thundering herd of identically-jittered
+        retries).  ``ServeClient`` salts with its per-instance request
+        sequence number, which survives reconnects — the derivation is
+        documented in DESIGN.md §8.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{salt}".encode("utf-8")).digest()
+        return dataclasses.replace(
+            self, seed=int.from_bytes(digest[:8], "big")
+        )
 
     # -- execution helpers -----------------------------------------------------------
 

@@ -39,7 +39,8 @@ from typing import Iterator, Optional, Sequence
 
 from repro.obs.export import (
     default_report_dir,
-    prometheus_text as _prometheus_text,
+    prometheus_text,
+    prometheus_text_multi,
     read_jsonl,
     snapshot_to_jsonl,
     write_jsonl,
@@ -146,9 +147,12 @@ def export_jsonl(path, run: str, append: bool = False):
     return write_jsonl(snapshot(), path, run, append=append)
 
 
-def prometheus_dump() -> str:
-    """The live registry in Prometheus text exposition format."""
-    return _prometheus_text(snapshot())
+def prometheus_dump(labels: Optional[dict] = None) -> str:
+    """The live registry in Prometheus text exposition format.
+
+    ``labels`` (e.g. ``{"shard": "3"}``) are attached to every sample.
+    """
+    return prometheus_text(snapshot(), labels=labels)
 
 
 __all__ = [
@@ -181,6 +185,8 @@ __all__ = [
     "histogram",
     "merge",
     "prometheus_dump",
+    "prometheus_text",
+    "prometheus_text_multi",
     "read_jsonl",
     "reset",
     "snapshot",

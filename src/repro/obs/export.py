@@ -112,25 +112,92 @@ def _metric_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
 
 
-def prometheus_text(snapshot: Dict[str, dict]) -> str:
-    """Render a registry snapshot in the Prometheus text exposition format."""
-    out = []
+def _label_text(labels: Optional[Dict[str, str]], extra: str = "") -> str:
+    """Render a ``{k="v",...}`` label block (empty string when no labels)."""
+    parts = [f'{k}="{v}"' for k, v in (labels or {}).items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _emit_snapshot(
+    out: list,
+    snapshot: Dict[str, dict],
+    labels: Optional[Dict[str, str]],
+    emit_type: bool = True,
+) -> None:
     for name, value in snapshot.get("counters", {}).items():
         metric = _metric_name(name)
-        out.append(f"# TYPE {metric} counter")
-        out.append(f"{metric} {value}")
+        if emit_type:
+            out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric}{_label_text(labels)} {value}")
     for name, state in snapshot.get("gauges", {}).items():
         metric = _metric_name(name)
-        out.append(f"# TYPE {metric} gauge")
-        out.append(f"{metric} {state['value']}")
+        if emit_type:
+            out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric}{_label_text(labels)} {state['value']}")
     for name, state in snapshot.get("histograms", {}).items():
         metric = _metric_name(name)
-        out.append(f"# TYPE {metric} histogram")
+        if emit_type:
+            out.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for bound, count in zip(state["bounds"], state["counts"]):
             cumulative += count
-            out.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
-        out.append(f'{metric}_bucket{{le="+Inf"}} {state["count"]}')
-        out.append(f"{metric}_sum {state['sum']}")
-        out.append(f"{metric}_count {state['count']}")
+            le = _label_text(labels, f'le="{bound}"')
+            out.append(f"{metric}_bucket{le} {cumulative}")
+        le = _label_text(labels, 'le="+Inf"')
+        out.append(f"{metric}_bucket{le} {state['count']}")
+        out.append(f"{metric}_sum{_label_text(labels)} {state['sum']}")
+        out.append(f"{metric}_count{_label_text(labels)} {state['count']}")
+
+
+def prometheus_text(
+    snapshot: Dict[str, dict], labels: Optional[Dict[str, str]] = None
+) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    ``labels`` are attached to every sample — shard workers label their
+    dump with ``{"shard": "<i>"}`` so a scrape of the fleet distinguishes
+    per-shard accept/batch series.
+    """
+    out: list = []
+    _emit_snapshot(out, snapshot, labels)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def prometheus_text_multi(series) -> str:
+    """Render several labeled snapshots as one exposition document.
+
+    ``series`` is an iterable of ``(labels, snapshot)`` pairs; the
+    supervisor uses it to expose the whole fleet (one ``shard="<i>"``
+    sample set per worker) without repeating ``# TYPE`` headers for
+    metrics that appear in every shard.
+    """
+    out: list = []
+    seen_types: set = set()
+    for labels, snapshot in series:
+        filtered = {
+            kind: {
+                name: state
+                for name, state in snapshot.get(kind, {}).items()
+            }
+            for kind in ("counters", "gauges", "histograms")
+        }
+        # Emit TYPE headers only for metrics not yet declared.
+        for kind in ("counters", "gauges", "histograms"):
+            first = {
+                name: state
+                for name, state in filtered[kind].items()
+                if (kind, name) not in seen_types
+            }
+            rest = {
+                name: state
+                for name, state in filtered[kind].items()
+                if (kind, name) in seen_types
+            }
+            if first:
+                _emit_snapshot(out, {kind: first}, labels, emit_type=True)
+            if rest:
+                _emit_snapshot(out, {kind: rest}, labels, emit_type=False)
+            seen_types.update((kind, name) for name in filtered[kind])
     return "\n".join(out) + ("\n" if out else "")

@@ -20,6 +20,10 @@ Public API:
   :class:`repro.faults.RetryPolicy`, re-exported here)
 * assembly: :func:`build_service`, :func:`demo_dataset`,
   :func:`outlier_profiles`
+* sharding: :class:`ShardSupervisor`, :class:`ShardServer`,
+  :class:`ShardRouter`, :func:`build_sharded_service`,
+  :func:`supports_reuse_port` — N worker processes behind one port
+  (SO_REUSEPORT or the router fallback) with fleet-atomic model swaps
 """
 
 from repro.faults import NO_RETRY, RetryPolicy
@@ -48,6 +52,13 @@ from repro.serve.registry import (
     RegistryError,
 )
 from repro.serve.server import FrameTooLarge, PredictionServer
+from repro.serve.shard import (
+    ShardRouter,
+    ShardServer,
+    ShardSupervisor,
+    build_sharded_service,
+    supports_reuse_port,
+)
 from repro.serve.testing import ServerThread
 
 __all__ = [
@@ -76,4 +87,9 @@ __all__ = [
     "RegistryError",
     "PredictionServer",
     "ServerThread",
+    "ShardRouter",
+    "ShardServer",
+    "ShardSupervisor",
+    "build_sharded_service",
+    "supports_reuse_port",
 ]

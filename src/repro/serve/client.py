@@ -97,6 +97,13 @@ class ServeClient:
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self._sock: Optional[socket.socket] = None
+        # Monotonic per-instance request sequence number.  Each request
+        # derives its backoff jitter from (policy seed, this number), so
+        # the schedule is deterministic for a given client history and
+        # NOT reset by reconnects — a retry that lands on a different
+        # shard after a 429/timeout backs off on the same derived
+        # schedule it started with (DESIGN.md §8).
+        self._request_seq = 0
         self._connect()
 
     # -- connection management ---------------------------------------------------
@@ -138,7 +145,13 @@ class ServeClient:
         the same connection; other ``ok: false`` replies raise
         :class:`ServeError` at once.
         """
+        self._request_seq += 1
         policy = retrying if retrying is not None else self.retry
+        # One derived jitter stream per request: deterministic given the
+        # client's request history, decorrelated between requests (and
+        # between clients with different seeds), stable across the
+        # teardown/reconnect cycle a shard failover causes.
+        policy = policy.derive(self._request_seq)
         frame = _encode(payload)
         failures = 0
         for attempt, is_last in policy.attempts():
@@ -306,6 +319,12 @@ class LoadReport:
     latency_ms: Dict[str, float]
     model_versions: List[int]
     server_stats: Dict[str, object]
+    #: driver processes the load was generated from (1 = in-process)
+    processes: int = 1
+    #: TCP connections opened over the run (> concurrency under churn)
+    connections: int = 0
+    #: simulated clients driven (soak mode; 0 for plain runs)
+    clients: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -324,42 +343,38 @@ def percentiles_ms(latencies_s: Sequence[float]) -> Dict[str, float]:
     }
 
 
-class LoadGenerator:
-    """Drives concurrent single-profile predictions at a server."""
+async def _drive_load(
+    host: str,
+    port: int,
+    rows: np.ndarray,
+    concurrency: int,
+    total_requests: int,
+    requests_per_connection: Optional[int] = None,
+) -> Dict[str, object]:
+    """One event loop's worth of load; returns raw tallies for aggregation.
 
-    def __init__(
-        self,
-        host: str,
-        port: int,
-        rows: np.ndarray,
-        concurrency: int = 16,
-    ):
-        rows = np.asarray(rows, dtype=float)
-        if rows.ndim != 2 or not len(rows):
-            raise ValueError("rows must be a non-empty 2-D array")
-        self.host = host
-        self.port = port
-        self.rows = rows
-        self.concurrency = concurrency
+    ``requests_per_connection`` bounds how many requests ride one TCP
+    connection before the worker reconnects — the connection-churn knob
+    the soak profile uses to simulate large client populations (each
+    connection stands in for one short-lived client).  ``None`` keeps the
+    plain mode: one long-lived connection per concurrency slot.
+    """
+    counter = {"next": 0, "ok": 0, "failed": 0, "connections": 0}
+    latencies: List[float] = []
+    versions: set = set()
 
-    def run(self, total_requests: int) -> LoadReport:
-        """Issue ``total_requests`` predictions and report the distribution."""
-        return asyncio.run(self._run(total_requests))
-
-    async def _run(self, total_requests: int) -> LoadReport:
-        counter = {"next": 0, "ok": 0, "failed": 0}
-        latencies: List[float] = []
-        versions: set = set()
-
-        async def worker() -> None:
-            client = await AsyncServeClient(self.host, self.port).connect()
+    async def worker() -> None:
+        while counter["next"] < total_requests:
+            client = await AsyncServeClient(host, port).connect()
+            counter["connections"] += 1
+            on_this_connection = 0
             try:
                 while True:
                     i = counter["next"]
                     if i >= total_requests:
                         return
                     counter["next"] = i + 1
-                    row = self.rows[i % len(self.rows)]
+                    row = rows[i % len(rows)]
                     start = time.perf_counter()
                     try:
                         reply = await client.request(
@@ -371,32 +386,187 @@ class LoadGenerator:
                     latencies.append(time.perf_counter() - start)
                     versions.add(reply["model_version"])
                     counter["ok"] += 1
+                    on_this_connection += 1
+                    if (
+                        requests_per_connection is not None
+                        and on_this_connection >= requests_per_connection
+                    ):
+                        break  # churn: this simulated client disconnects
             finally:
                 await client.close()
 
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    return {
+        "ok": counter["ok"],
+        "failed": counter["failed"],
+        "connections": counter["connections"],
+        "latencies": latencies,
+        "versions": sorted(versions),
+    }
+
+
+def _load_process_main(
+    conn, host, port, rows, concurrency, total_requests, requests_per_connection
+):
+    """Entry point of one load-driver process (multi-process drive mode)."""
+    try:
+        result = asyncio.run(
+            _drive_load(
+                host, port, rows, concurrency, total_requests,
+                requests_per_connection,
+            )
+        )
+        conn.send(result)
+    except BaseException as exc:  # surfaced by the parent as a failed share
+        conn.send({"error": repr(exc)})
+    finally:
+        conn.close()
+
+
+class LoadGenerator:
+    """Drives concurrent single-profile predictions at a server.
+
+    Three drive modes, composable:
+
+    * **in-process** (default) — one asyncio loop, ``concurrency``
+      long-lived connections;
+    * **multi-process** (``processes > 1``) — forks that many driver
+      processes, each running its own loop at ``concurrency``; the way to
+      saturate a sharded server from one generator (a single GIL cannot
+      fill 8 shards);
+    * **soak** (:meth:`soak`) — simulates a large client population over
+      connection churn: each simulated client connects, issues
+      ``requests_per_client`` predictions, and disconnects, so hundreds
+      of thousands of clients flow through ``concurrency x processes``
+      live sockets.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        rows: np.ndarray,
+        concurrency: int = 16,
+        processes: int = 1,
+    ):
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or not len(rows):
+            raise ValueError("rows must be a non-empty 2-D array")
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.host = host
+        self.port = port
+        self.rows = rows
+        self.concurrency = concurrency
+        self.processes = processes
+
+    def run(
+        self,
+        total_requests: int,
+        requests_per_connection: Optional[int] = None,
+        clients: int = 0,
+    ) -> LoadReport:
+        """Issue ``total_requests`` predictions and report the distribution."""
         start = time.perf_counter()
-        await asyncio.gather(*(worker() for _ in range(self.concurrency)))
+        if self.processes == 1:
+            shares = [
+                asyncio.run(
+                    _drive_load(
+                        self.host, self.port, self.rows, self.concurrency,
+                        total_requests, requests_per_connection,
+                    )
+                )
+            ]
+        else:
+            shares = self._run_processes(total_requests, requests_per_connection)
         duration = time.perf_counter() - start
 
-        stats_client = await AsyncServeClient(self.host, self.port).connect()
-        try:
-            server_stats = await stats_client.request({"op": "stats"})
-        finally:
-            await stats_client.close()
+        errors = [s["error"] for s in shares if "error" in s]
+        if errors:
+            raise RuntimeError(f"load driver process failed: {errors[0]}")
 
-        done = counter["ok"] + counter["failed"]
+        latencies = [lat for s in shares for lat in s["latencies"]]
+        versions = sorted({v for s in shares for v in s["versions"]})
+        ok = sum(s["ok"] for s in shares)
+        failed = sum(s["failed"] for s in shares)
+        connections = sum(s["connections"] for s in shares)
+        done = ok + failed
         return LoadReport(
             requests=done,
-            ok=counter["ok"],
-            failed=counter["failed"],
+            ok=ok,
+            failed=failed,
             duration_s=round(duration, 4),
             throughput_rps=round(done / duration, 1) if duration else 0.0,
             latency_ms=percentiles_ms(latencies),
-            model_versions=sorted(versions),
-            server_stats={
-                k: v for k, v in server_stats.items() if k not in ("ok",)
-            },
+            model_versions=versions,
+            server_stats=self._server_stats(),
+            processes=self.processes,
+            connections=connections,
+            clients=clients,
         )
+
+    def soak(self, clients: int, requests_per_client: int = 4) -> LoadReport:
+        """Simulate ``clients`` short-lived clients over connection churn.
+
+        Each client is one connect / ``requests_per_client`` predictions /
+        disconnect cycle; ``concurrency x processes`` of them are alive at
+        any instant.  The report's ``connections`` counts how many client
+        lifetimes actually ran.
+        """
+        if clients < 1 or requests_per_client < 1:
+            raise ValueError("clients and requests_per_client must be >= 1")
+        return self.run(
+            clients * requests_per_client,
+            requests_per_connection=requests_per_client,
+            clients=clients,
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _run_processes(self, total_requests, requests_per_connection):
+        import multiprocessing
+
+        share, remainder = divmod(total_requests, self.processes)
+        workers = []
+        for rank in range(self.processes):
+            n = share + (1 if rank < remainder else 0)
+            if n == 0:
+                continue
+            parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+            proc = multiprocessing.Process(
+                target=_load_process_main,
+                args=(
+                    child_conn, self.host, self.port, self.rows,
+                    self.concurrency, n, requests_per_connection,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            workers.append((proc, parent_conn))
+
+        shares = []
+        for proc, conn in workers:
+            try:
+                shares.append(conn.recv())
+            except EOFError:
+                shares.append({"error": f"driver pid {proc.pid} died"})
+            finally:
+                conn.close()
+        for proc, _ in workers:
+            proc.join()
+        return shares
+
+    def _server_stats(self) -> Dict[str, object]:
+        async def fetch():
+            client = await AsyncServeClient(self.host, self.port).connect()
+            try:
+                return await client.request({"op": "stats"})
+            finally:
+                await client.close()
+
+        stats = asyncio.run(fetch())
+        return {k: v for k, v in stats.items() if k not in ("ok",)}
 
 
 # -- CLI -------------------------------------------------------------------------------
@@ -424,6 +594,27 @@ def main(argv=None) -> int:
         help="run the load generator at this concurrency",
     )
     parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="load-driver processes (multi-process drive mode)",
+    )
+    parser.add_argument(
+        "--soak",
+        type=int,
+        metavar="CLIENTS",
+        default=0,
+        help="soak profile: simulate this many short-lived clients over "
+        "connection churn (requires --load for the live concurrency)",
+    )
+    parser.add_argument(
+        "--requests-per-client",
+        type=int,
+        default=4,
+        help="predictions each simulated soak client issues before "
+        "disconnecting",
+    )
     parser.add_argument(
         "--check-metrics",
         action="store_true",
@@ -454,9 +645,16 @@ def main(argv=None) -> int:
         if not same:
             status = 1
     if args.load:
-        report = LoadGenerator(
-            args.host, args.port, rows, concurrency=args.load
-        ).run(args.requests)
+        generator = LoadGenerator(
+            args.host, args.port, rows,
+            concurrency=args.load, processes=args.processes,
+        )
+        if args.soak:
+            report = generator.soak(
+                args.soak, requests_per_client=args.requests_per_client
+            )
+        else:
+            report = generator.run(args.requests)
         print(json.dumps(report.to_dict(), indent=2))
         if report.failed:
             status = 1

@@ -84,6 +84,12 @@ class ServingManager:
         )
         self._lock = asyncio.Lock()
         self._update_task: Optional[asyncio.Task] = None
+        #: Optional async hook ``on_swap(version)`` awaited after each
+        #: successful publish-then-swap.  The shard supervisor registers
+        #: its fleet-wide reload broadcast here; failures are counted
+        #: (``serve.swap_hook_failures``), never allowed to fail the
+        #: update itself — the local slot already swapped.
+        self.on_swap = None
 
     # -- bootstrap -----------------------------------------------------------------
 
@@ -184,6 +190,14 @@ class ServingManager:
             self.stats.last_error = None
             obs.counter("serve.updates_completed").inc()
             obs.gauge("serve.model_version").set(receipt.version)
+            if self.on_swap is not None:
+                try:
+                    await self.on_swap(receipt.version)
+                except Exception:
+                    # The update itself succeeded (published + swapped
+                    # locally); a failed fan-out is the fleet layer's
+                    # problem — it reconciles on respawn/next reload.
+                    obs.counter("serve.swap_hook_failures").inc()
         except Exception as exc:
             # Graceful degradation: the slot still holds the last-good
             # (version, model) snapshot — publish-then-swap means a failed

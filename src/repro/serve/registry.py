@@ -132,7 +132,9 @@ class PublishedModel:
 class ModelRegistry:
     """Durable, versioned store of fitted :class:`InferredModel` objects."""
 
-    def __init__(self, root: Union[str, Path], cache_size: int = 8):
+    def __init__(
+        self, root: Union[str, Path], cache_size: int = 8, recover: bool = True
+    ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         self.root = Path(root)
@@ -142,8 +144,12 @@ class ModelRegistry:
         self._lock = threading.Lock()
         # Opening a registry is the crash-recovery point: any .tmp-*
         # artifact on disk belonged to a publisher that died mid-publish
-        # (live temp files exist only inside a publish call).
-        self.recover()
+        # (live temp files exist only inside a publish call).  Read-only
+        # consumers that share the directory with a LIVE publisher (shard
+        # workers) pass ``recover=False`` — sweeping here would race the
+        # publisher's in-flight temp file.
+        if recover:
+            self.recover()
 
     # -- crash recovery ------------------------------------------------------------
 

@@ -136,12 +136,14 @@ class PredictionServer:
         batch_config: Optional[BatchConfig] = None,
         manager=None,
         request_deadline_s: float = 30.0,
+        reuse_port: bool = False,
     ):
         if request_deadline_s <= 0:
             raise ValueError("request_deadline_s must be > 0")
         self.slot = slot
         self.host = host
         self.port = port
+        self.reuse_port = reuse_port
         self.manager = manager  # Optional[ServingManager], wired by serve.manager
         self.batcher = MicroBatcher(slot, batch_config)
         self.request_deadline_s = request_deadline_s
@@ -162,13 +164,27 @@ class PredictionServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopped = asyncio.Event()
         self._conn_tasks: set = set()
+        # Dispatch table: op name -> handler(request) (sync or async).
+        # Subclasses (e.g. the shard worker server) extend the protocol by
+        # registering additional entries instead of overriding dispatch.
+        self._ops: Dict[str, object] = {
+            "ping": lambda request: {"ok": True, "op": "ping"},
+            "info": lambda request: self._op_info(),
+            "stats": lambda request: self._op_stats(),
+            "metrics": self._op_metrics,
+            "predict": self._op_predict,
+            "predict_batch": self._op_predict_batch,
+            "observe": self._op_observe,
+            "shutdown": self._op_shutdown,
+        }
 
     # -- lifecycle -----------------------------------------------------------------
 
     async def start(self) -> None:
         self.batcher.start()
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -287,28 +303,17 @@ class PredictionServer:
         self.stats.requests += 1
         self._obs_requests.inc()
         op = request.get("op")
+        handler = self._ops.get(op) if isinstance(op, str) else None
         try:
             await faults.site_async("serve.dispatch")
-            if op == "ping":
-                return {"ok": True, "op": "ping"}
-            if op == "info":
-                return self._op_info()
-            if op == "stats":
-                return self._op_stats()
-            if op == "metrics":
-                return self._op_metrics(request)
-            if op == "predict":
-                return await self._op_predict(request)
-            if op == "predict_batch":
-                return self._op_predict_batch(request)
-            if op == "observe":
-                return await self._op_observe(request)
-            if op == "shutdown":
-                self.stop()
-                return {"ok": True, "op": "shutdown"}
-            self.stats.errors += 1
-            self._obs_errors.inc()
-            return {"ok": False, "status": 404, "error": f"unknown op {op!r}"}
+            if handler is None:
+                self.stats.errors += 1
+                self._obs_errors.inc()
+                return {"ok": False, "status": 404, "error": f"unknown op {op!r}"}
+            result = handler(request)
+            if asyncio.iscoroutine(result):
+                result = await result
+            return result
         except QueueFullError as exc:
             self.stats.errors += 1
             self._obs_errors.inc()
@@ -385,6 +390,10 @@ class PredictionServer:
             "predictions": [float(p) for p in predictions],
             "model_version": version,
         }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        self.stop()
+        return {"ok": True, "op": "shutdown"}
 
     async def _op_observe(self, request: dict) -> dict:
         if self.manager is None:

@@ -67,6 +67,11 @@ class ServerThread:
     def port(self) -> int:
         return self.server.port
 
+    @property
+    def loop(self) -> Optional[asyncio.AbstractEventLoop]:
+        """The event loop hosting the server (for run_coroutine_threadsafe)."""
+        return self._loop
+
     def __enter__(self) -> "ServerThread":
         return self.start()
 

@@ -164,10 +164,79 @@ class TestClassify:
             ("kernels.cache_sim.misses", "info"),
             ("load.requests", "info"),
             ("live_update.version_after", "info"),
+            # The sharded BENCH_serve.json additions: fleet aggregates
+            # gate, per-shard splits and host-dependent parallelism don't.
+            ("sharded.load.throughput_rps", "higher"),
+            ("sharded.per_shard.0.throughput_rps", "info"),
+            ("sharded.per_shard.2.mean_batch_occupancy", "info"),
+            ("sharded.per_shard.1.latency_ms.p50", "info"),
+            ("sharded.speedup_vs_single", "info"),
+            ("sharded.cores", "info"),
+            ("sharded.shards", "info"),
         ],
     )
     def test_direction(self, path, expected):
         assert check_bench.classify(path) == expected
+
+
+class TestShardedSchema:
+    """The gate reads old and new BENCH_serve.json layouts side by side."""
+
+    SHARDED = {
+        "shards": 2,
+        "cores": 1,
+        "mode": "reuse_port",
+        "load": {
+            "throughput_rps": 3000.0,
+            "latency_ms": {"p50": 2.0, "p99": 5.0, "max": 9.0},
+            "requests": 4000,
+        },
+        "speedup_vs_single": 1.5,
+        "per_shard": {
+            "0": {"throughput_rps": 1500.0, "mean_batch_occupancy": 1.2},
+            "1": {"throughput_rps": 1500.0, "mean_batch_occupancy": 1.1},
+        },
+    }
+
+    def _with_sharded(self, sharded: dict) -> dict:
+        report = copy.deepcopy(BASELINE)
+        report["sharded"] = copy.deepcopy(sharded)
+        return report
+
+    def test_old_baseline_ignores_new_sharded_section(self, tmp_path):
+        """An old baseline (no ``sharded`` key) still gates the old keys
+        of a new-schema report — extra current-side keys never fail."""
+        assert _run(*_write_pair(tmp_path, self._with_sharded(self.SHARDED))) == 0
+
+    def test_fleet_throughput_gates(self, tmp_path, capsys):
+        baseline_dir, current_dir = _write_pair(
+            tmp_path, self._with_sharded(self.SHARDED)
+        )
+        (baseline_dir / "BENCH_unit.json").write_text(
+            json.dumps(self._with_sharded(self.SHARDED))
+        )
+        degraded = self._with_sharded(self.SHARDED)
+        degraded["sharded"]["load"]["throughput_rps"] = 1000.0  # -66%
+        (current_dir / "BENCH_unit.json").write_text(json.dumps(degraded))
+        assert _run(baseline_dir, current_dir) == 1
+        assert "sharded.load.throughput_rps" in capsys.readouterr().out
+
+    def test_per_shard_and_speedup_never_gate(self, tmp_path):
+        """Per-shard splits (kernel balancing luck) and speedup_vs_single
+        (host parallelism) may swing arbitrarily without failing CI."""
+        baseline_dir, current_dir = _write_pair(
+            tmp_path, self._with_sharded(self.SHARDED)
+        )
+        (baseline_dir / "BENCH_unit.json").write_text(
+            json.dumps(self._with_sharded(self.SHARDED))
+        )
+        skewed = self._with_sharded(self.SHARDED)
+        skewed["sharded"]["per_shard"]["0"]["throughput_rps"] = 1.0
+        skewed["sharded"]["per_shard"]["1"]["throughput_rps"] = 2999.0
+        skewed["sharded"]["speedup_vs_single"] = 0.1
+        skewed["sharded"]["cores"] = 64
+        (current_dir / "BENCH_unit.json").write_text(json.dumps(skewed))
+        assert _run(baseline_dir, current_dir) == 0
 
 
 class TestMetricsJsonl:

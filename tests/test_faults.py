@@ -255,6 +255,52 @@ class TestRetryPolicy:
             RetryPolicy(jitter=1.0)
 
 
+class TestRetryPolicyDerive:
+    """The per-request jitter derivation ServeClient relies on (DESIGN.md §8)."""
+
+    def test_same_salt_same_schedule(self):
+        policy = RetryPolicy(seed=CHAOS_SEED)
+        assert policy.derive("req-1").seed == policy.derive("req-1").seed
+        assert policy.derive("req-1").schedule() == policy.derive("req-1").schedule()
+
+    def test_different_salts_decorrelate(self):
+        policy = RetryPolicy(seed=CHAOS_SEED)
+        assert policy.derive(1).seed != policy.derive(2).seed
+        assert policy.derive(1).schedule() != policy.derive(2).schedule()
+
+    def test_derived_seed_is_a_pure_function(self):
+        """sha256("<seed>:<salt>")[:8] — stable across processes and shard
+        reconnects, so a retried request keeps its schedule wherever it
+        lands."""
+        import hashlib
+
+        expected = int.from_bytes(
+            hashlib.sha256(b"7:42").digest()[:8], "big"
+        )
+        assert RetryPolicy(seed=7).derive(42).seed == expected
+
+    def test_derive_changes_only_the_seed(self):
+        policy = RetryPolicy(
+            seed=CHAOS_SEED, max_attempts=7, base_delay_s=0.123, jitter=0.3
+        )
+        derived = policy.derive("salt")
+        assert derived.max_attempts == policy.max_attempts
+        assert derived.base_delay_s == policy.base_delay_s
+        assert derived.jitter == policy.jitter
+        assert derived.seed != policy.seed
+
+    def test_request_sequence_replays_identically(self):
+        """Two clients with the same base policy that issue the same
+        request history derive identical backoff schedules, request for
+        request — the fleet-level determinism contract."""
+        policy_a = RetryPolicy(seed=CHAOS_SEED)
+        policy_b = RetryPolicy(seed=CHAOS_SEED)
+        schedule_a = [policy_a.derive(seq).schedule() for seq in range(1, 6)]
+        schedule_b = [policy_b.derive(seq).schedule() for seq in range(1, 6)]
+        assert schedule_a == schedule_b
+        assert len({tuple(s) for s in schedule_a}) == 5  # decorrelated
+
+
 @given(
     seed=st.integers(0, 2**31),
     max_attempts=st.integers(2, 12),

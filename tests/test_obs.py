@@ -187,6 +187,38 @@ class TestExport:
         assert 'repro_h_bucket{le="+Inf"} 1' in text
         assert "repro_h_count 1" in text
 
+    def test_prometheus_labels_attach_to_every_sample(self):
+        obs.counter("serve.requests").inc(2)
+        obs.gauge("g").set(1.0)
+        obs.histogram("h", bounds=(1.0,)).observe(0.5)
+        text = prometheus_text(obs.snapshot(), labels={"shard": "3"})
+        assert 'repro_serve_requests{shard="3"} 2' in text
+        assert 'repro_g{shard="3"} 1.0' in text
+        assert 'repro_h_bucket{shard="3",le="1.0"} 1' in text
+        assert 'repro_h_sum{shard="3"}' in text
+        # TYPE headers carry no labels.
+        assert "# TYPE repro_serve_requests counter" in text
+
+    def test_prometheus_multi_series_dedupes_type_headers(self):
+        from repro.obs.export import prometheus_text_multi
+
+        shard0 = MetricsRegistry()
+        shard0.counter("serve.requests").inc(4)
+        shard1 = MetricsRegistry()
+        shard1.counter("serve.requests").inc(6)
+        shard1.counter("shard.only_here").inc(1)
+        text = prometheus_text_multi(
+            [
+                ({"shard": "0"}, shard0.snapshot()),
+                ({"shard": "1"}, shard1.snapshot()),
+            ]
+        )
+        assert 'repro_serve_requests{shard="0"} 4' in text
+        assert 'repro_serve_requests{shard="1"} 6' in text
+        assert 'repro_shard_only_here{shard="1"} 1' in text
+        # One TYPE declaration per metric across the whole fleet.
+        assert text.count("# TYPE repro_serve_requests counter") == 1
+
 
 # -- deterministic aggregation ---------------------------------------------------------
 

@@ -19,6 +19,7 @@ import struct
 
 import asyncio
 import os
+import time
 
 import pytest
 
@@ -292,6 +293,89 @@ class TestRegistryCrashSafety:
 
 
 # -- the acceptance bar: GA survives killed workers bit-identically --------------------
+
+
+class TestShardFleetChaos:
+    def test_shard_kill_midload_zero_failed_client_requests(self, tmp_path):
+        """The sharded acceptance bar: a worker killed mid-load (the
+        ``shard.request=kill`` site, armed before the fork so the shared
+        hit counter spans the fleet) costs ZERO failed client requests —
+        retries ride out the crash, the supervisor respawns the shard,
+        and the fleet ends at full strength."""
+        import threading
+
+        from repro.serve import build_sharded_service
+
+        plan = FaultPlan.parse("shard.request=kill@25", seed=CHAOS_SEED)
+        supervisor = build_sharded_service(
+            demo_dataset(seed=0),
+            tmp_path / "registry",
+            n_shards=3,
+            generations=1,
+            population_size=6,
+        )
+        deaths_before = _count("shard.worker_deaths")
+        failures = []
+        with faults.armed(plan):
+            supervisor.start()
+            try:
+
+                def drive(worker_id: int) -> None:
+                    try:
+                        with ServeClient(
+                            port=supervisor.port,
+                            timeout=5.0,
+                            retry=FAST_RETRY.derive(worker_id),
+                        ) as client:
+                            for _ in range(40):
+                                reply = client.predict_row(
+                                    [1.0, 0.5, 0.2, 1.0, 1.5]
+                                )
+                                assert reply["ok"]
+                    except Exception as exc:
+                        failures.append((worker_id, repr(exc)))
+
+                workers = [
+                    threading.Thread(target=drive, args=(i,)) for i in range(4)
+                ]
+                for worker in workers:
+                    worker.start()
+                for worker in workers:
+                    worker.join(120)
+
+                assert failures == [], failures[:3]
+                # Exactly one kill fired, fleet-wide (the counter lives in
+                # shared memory, so the parent sees the worker's hits).
+                assert sum(plan.injected_counts()) == 1
+
+                # The supervisor noticed the death and respawned.
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline:
+                    if (
+                        supervisor.respawns >= 1
+                        and _count("shard.worker_deaths") >= deaths_before + 1
+                    ):
+                        with supervisor._handles_lock:
+                            live = sum(
+                                1
+                                for h in supervisor._handles.values()
+                                if h.process.is_alive()
+                            )
+                        if live == 3:
+                            break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("killed shard was not respawned in time")
+            finally:
+                # Stats/drain frames also hit shard.request; scrape with
+                # the plan disarmed so bookkeeping cannot re-inject.
+                faults.disarm()
+        stats = supervisor.fleet_stats()
+        try:
+            assert stats["live"] == 3
+            assert stats["respawns"] >= 1
+        finally:
+            supervisor.drain()
 
 
 class TestGeneticSearchUnderWorkerDeath:
