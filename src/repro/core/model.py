@@ -160,6 +160,56 @@ class InferredModel:
         ds.add(ProfileRecord("query", np.asarray(x), np.asarray(y), 0.0))
         return float(self.predict(ds)[0])
 
+    # -- streaming support ---------------------------------------------------------
+
+    def prepared_design(self, dataset: ProfileDataset) -> np.ndarray:
+        """The pruned design rows this model's fit actually consumes.
+
+        Applies the fit-time transform state *and* the recorded
+        collinearity-pruning decisions, so the returned block lines up
+        column-for-column with :attr:`fit_column_names`.  This is the
+        row-reduction entry point of the streaming accumulator
+        (:class:`repro.stream.GramAccumulator`): folding these rows
+        through :func:`repro.core.regression.accumulate_gram` yields
+        normal-equation blocks additive with any other rows prepared by
+        the same model.
+        """
+        design = self._builder.transform(dataset)
+        if design.shape[1]:
+            return design[:, self._kept_columns]
+        return np.empty((design.shape[0], 0))
+
+    def transform_targets(self, targets: np.ndarray) -> np.ndarray:
+        """Targets on the fit's response scale (the regression's ``y``)."""
+        targets = np.asarray(targets, dtype=float)
+        if self.response in ("log", "sqrt") and (targets <= 0).any():
+            raise ValueError(f"{self.response} response requires positive targets")
+        forward, _ = RESPONSE_TRANSFORMS[self.response]
+        return forward(targets)
+
+    def refit_from(self, fit: LinearFit) -> "InferredModel":
+        """A new model sharing this one's spec/transform state, new coefficients.
+
+        The streaming coefficient-refresh path: a :func:`solve_gram` over
+        accumulated blocks produces a :class:`LinearFit` whose columns must
+        match :attr:`fit_column_names`; everything else (spec, fitted
+        transforms, pruning, response scale) is structural and carries over
+        unchanged.
+        """
+        if fit.column_names != self.fit_column_names:
+            raise ValueError(
+                "refit columns do not match this model's design: "
+                f"{fit.column_names} != {self.fit_column_names}"
+            )
+        return InferredModel(
+            self.spec, self._builder, self._kept_columns, fit, self.response
+        )
+
+    @property
+    def fit_column_names(self) -> tuple:
+        """Design column names (post pruning) the linear fit is over."""
+        return self._fit.column_names
+
     # -- evaluation ----------------------------------------------------------------
 
     def score(self, dataset: ProfileDataset) -> Dict[str, float]:

@@ -152,6 +152,11 @@ class ModelManager:
 
     # -- helpers --------------------------------------------------------------------
 
+    @property
+    def last_search_result(self) -> Optional[SearchResult]:
+        """The most recent GA result (train or update); seeds streaming state."""
+        return self._last_result
+
     def pending_profiles(self, application: str) -> int:
         return len(self._pending.get(application, []))
 

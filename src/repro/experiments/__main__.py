@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "fig14": ("fig14_spmv", "Figure 14 — SpMV model accuracy"),
     "fig15": ("fig15_topology", "Figure 15 — performance topology"),
     "fig16": ("fig16_tuning", "Figure 16 — coordinated tuning"),
+    "stream": ("stream_demo", "Streaming re-spec — drift detection on a drifting-sparsity SpMV stream"),
     "ablations": ("ablations", "Ablations — sharding, stabilization, response scale, synthetic coverage"),
     "ext-memory": ("ext_memory", "Extension — memory-behavior characteristics x14..x17"),
     "val-timing": ("val_timing", "Validation — interval model vs cycle-level simulation"),
@@ -122,6 +123,13 @@ def serve_main(argv) -> int:
         "platform ('auto', the default)",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="attach the streaming re-specifier (enables the "
+        "observe_stream op: per-batch Gram refresh, drift-triggered "
+        "background re-specification)",
+    )
+    parser.add_argument(
         "--metrics-dump",
         action="store_true",
         help="instead of starting a server, fetch the metrics of the one "
@@ -158,6 +166,11 @@ def serve_main(argv) -> int:
             max_latency_s=args.max_latency_ms / 1000.0,
         ),
     )
+    if args.stream:
+        from repro.serve.bootstrap import attach_streaming
+
+        attach_streaming(serving)
+        print("streaming re-specifier attached (observe_stream)", flush=True)
 
     async def run() -> None:
         await server.start()

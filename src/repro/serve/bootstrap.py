@@ -120,3 +120,24 @@ def build_service(
         request_deadline_s=request_deadline_s,
     )
     return server, serving, registry
+
+
+def attach_streaming(serving: ServingManager, **respec_kwargs) -> object:
+    """Wire a :class:`repro.stream.StreamingRespecifier` into a built service.
+
+    Reuses the ModelManager's dataset, GA search (so re-specifications
+    warm-start from its retained population), and bootstrap search result
+    — no second GA run.  Extra kwargs go to the respecifier constructor
+    (``drift_config``, ``checkpoint_every``, ...).
+    """
+    from repro.stream import StreamingRespecifier
+
+    manager = serving.manager
+    if manager.last_search_result is None:
+        raise RuntimeError("train() the ModelManager before attaching a stream")
+    respec = StreamingRespecifier(
+        manager.dataset, manager.search, **respec_kwargs
+    )
+    respec.bootstrap_from(manager.last_search_result)
+    serving.attach_stream(respec)
+    return respec

@@ -239,6 +239,22 @@ class ServeClient:
             retrying=retrying,
         )
 
+    def observe_stream(
+        self,
+        application: str,
+        profiles: Sequence[dict],
+        retrying: Optional[RetryPolicy] = None,
+    ) -> dict:
+        """Ship one continuous-maintenance observation batch."""
+        return self.request(
+            {
+                "op": "observe_stream",
+                "application": application,
+                "profiles": list(profiles),
+            },
+            retrying=retrying,
+        )
+
     def shutdown(self) -> dict:
         # Never retried: a lost reply almost certainly means the server
         # already stopped, and re-sending would only wait out backoffs

@@ -44,7 +44,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro import faults, obs
-from repro.core.dataset import ProfileRecord
+from repro.core.dataset import ProfileDataset, ProfileRecord
 from repro.core.updater import ModelManager, ObservationOutcome
 from repro.serve.batching import ModelSlot
 from repro.serve.registry import ModelKey, ModelRegistry
@@ -57,8 +57,24 @@ class UpdateStats:
     updates_started: int = 0
     updates_completed: int = 0
     updates_failed: int = 0
+    stream_batches: int = 0
+    stream_refreshes: int = 0
+    stream_respecs: int = 0
+    stream_failed: int = 0
     last_published_version: int = 0
     last_error: Optional[str] = None
+
+
+def _record_last_error(stats: UpdateStats, error: Optional[str]) -> None:
+    """Track the last update error in stats AND the Prometheus export.
+
+    ``last_error`` historically only reached ``stats`` frames; the gauge
+    makes failure state visible through ``metrics`` /
+    ``serve --metrics-dump`` too (1 = last maintenance action failed),
+    picking up ``{shard=...}`` labels for free under the sharded tier.
+    """
+    stats.last_error = error
+    obs.gauge("serve.update_last_error").set(0.0 if error is None else 1.0)
 
 
 class ServingManager:
@@ -76,6 +92,9 @@ class ServingManager:
         self.key = key
         self.slot = slot
         self.stats = UpdateStats()
+        # Export the health gauge from boot, not first failure: a scrape
+        # that has never seen serve.update_last_error cannot alert on it.
+        _record_last_error(self.stats, None)
         # One worker: updates and accuracy checks both mutate the
         # ModelManager, so they serialize on this executor; the _lock
         # additionally keeps the observe/decide step atomic per request.
@@ -84,6 +103,9 @@ class ServingManager:
         )
         self._lock = asyncio.Lock()
         self._update_task: Optional[asyncio.Task] = None
+        #: Optional :class:`repro.stream.StreamingRespecifier` powering the
+        #: ``observe_stream`` path (see :meth:`attach_stream`).
+        self.stream = None
         #: Optional async hook ``on_swap(version)`` awaited after each
         #: successful publish-then-swap.  The shard supervisor registers
         #: its fleet-wide reload broadcast here; failures are counted
@@ -151,6 +173,126 @@ class ServingManager:
             "model_version": self.slot.version,
         }
 
+    # -- streaming observe path ----------------------------------------------------
+
+    def attach_stream(self, respecifier) -> None:
+        """Enable continuous maintenance via a bootstrapped respecifier.
+
+        The respecifier's incumbent model should be the one served (or an
+        ancestor of it): refreshed/re-specified models are published and
+        swapped into the slot exactly like batch updates.
+        """
+        if respecifier.model is None:
+            raise RuntimeError("bootstrap() the respecifier before attaching")
+        self.stream = respecifier
+
+    async def handle_observe_stream(self, request: dict) -> dict:
+        """Serve one ``observe_stream`` frame: ingest, maybe refresh/respec.
+
+        Same frame shape as ``observe``.  Coefficient refreshes happen
+        inline (they are p×p solves); a tripped drift detector instead
+        schedules ONE background re-specification, predictions staying on
+        the incumbent snapshot for its whole duration.
+        """
+        if self.stream is None:
+            return {
+                "ok": False,
+                "status": 501,
+                "error": "no streaming respecifier attached (see attach_stream)",
+            }
+        application = request["application"]
+        batch = ProfileDataset(
+            self.stream.dataset.x_names, self.stream.dataset.y_names
+        )
+        for p in request["profiles"]:
+            batch.add(
+                ProfileRecord(
+                    application,
+                    np.asarray(p["x"], dtype=float),
+                    np.asarray(p["y"], dtype=float),
+                    float(p["z"]),
+                )
+            )
+        if len(batch) == 0:
+            raise ValueError("observe_stream needs at least one profile")
+
+        loop = asyncio.get_running_loop()
+        respec_scheduled = False
+        async with self._lock:
+            try:
+                # Respec is deferred to a background task; ingestion itself
+                # (prequential scoring + Gram fold + refresh solve) is cheap
+                # and runs off-loop on the update executor.
+                outcome = await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.stream.ingest(batch, allow_respec=False),
+                )
+            except Exception as exc:
+                # Same degradation contract as _run_update: the slot keeps
+                # the last-good snapshot, the failure is recorded, serving
+                # continues.  stream.ingest fault injections land here.
+                self.stats.stream_failed += 1
+                _record_last_error(self.stats, f"{type(exc).__name__}: {exc}")
+                obs.counter("serve.stream_failed").inc()
+                return {"ok": False, "status": 500, "error": self.stats.last_error}
+            self.stats.stream_batches += 1
+            obs.counter("serve.stream_batches").inc()
+            if outcome.refreshed:
+                self._publish_stream_model("stream-refresh")
+                self.stats.stream_refreshes += 1
+            if outcome.needs_respec and not self.update_in_progress:
+                self._update_task = loop.create_task(self._run_stream_respec())
+                self.stats.updates_started += 1
+                respec_scheduled = True
+
+        return {
+            "ok": True,
+            "application": application,
+            "action": outcome.action,
+            "drift_score": outcome.drift_score,
+            "drift_tripped": outcome.tripped,
+            "batch_error": outcome.batch_error,
+            "respec_scheduled": respec_scheduled,
+            "model_version": self.slot.version,
+        }
+
+    def _publish_stream_model(self, trigger: str) -> int:
+        """Durable-then-visible publish of the stream's incumbent model."""
+        receipt = self.registry.publish(
+            self.key,
+            self.stream.model,
+            metadata={
+                "trigger": trigger,
+                "n_records": len(self.stream.dataset),
+                "drift_score": self.stream.detector.score(),
+            },
+        )
+        self.slot.swap(receipt.version, self.stream.model)
+        self.stats.last_published_version = receipt.version
+        obs.gauge("serve.model_version").set(receipt.version)
+        return receipt.version
+
+    async def _run_stream_respec(self) -> None:
+        """Background drift-triggered re-specification (GA warm-start)."""
+        loop = asyncio.get_running_loop()
+        try:
+            with obs.span("serve.stream_respec"):
+                await loop.run_in_executor(self._executor, self.stream.respec)
+            version = self._publish_stream_model("stream-respec")
+            self.stats.stream_respecs += 1
+            self.stats.updates_completed += 1
+            _record_last_error(self.stats, None)
+            obs.counter("serve.stream_respecs").inc()
+            if self.on_swap is not None:
+                try:
+                    await self.on_swap(version)
+                except Exception:
+                    obs.counter("serve.swap_hook_failures").inc()
+        except Exception as exc:
+            self.stats.updates_failed += 1
+            _record_last_error(self.stats, f"{type(exc).__name__}: {exc}")
+            obs.counter("serve.updates_failed").inc()
+
     # -- the background update -----------------------------------------------------
 
     @property
@@ -187,7 +329,7 @@ class ServingManager:
             self.slot.swap(receipt.version, model)
             self.stats.last_published_version = receipt.version
             self.stats.updates_completed += 1
-            self.stats.last_error = None
+            _record_last_error(self.stats, None)
             obs.counter("serve.updates_completed").inc()
             obs.gauge("serve.model_version").set(receipt.version)
             if self.on_swap is not None:
@@ -204,13 +346,13 @@ class ServingManager:
             # update never half-applies.  Record and absorb; a raised
             # exception here would only die unobserved in the task.
             self.stats.updates_failed += 1
-            self.stats.last_error = f"{type(exc).__name__}: {exc}"
+            _record_last_error(self.stats, f"{type(exc).__name__}: {exc}")
             obs.counter("serve.updates_failed").inc()
 
     # -- reporting -----------------------------------------------------------------
 
     def stats_dict(self) -> Dict[str, object]:
-        return {
+        stats = {
             "observations": self.stats.observations,
             "absorbed": self.stats.absorbed,
             "updates_started": self.stats.updates_started,
@@ -224,6 +366,15 @@ class ServingManager:
                 for app in self.manager.pending_applications
             },
         }
+        if self.stream is not None:
+            stats["stream"] = {
+                "batches": self.stats.stream_batches,
+                "refreshes": self.stats.stream_refreshes,
+                "respecs": self.stats.stream_respecs,
+                "failed": self.stats.stream_failed,
+                **self.stream.stats_dict(),
+            }
+        return stats
 
     def close(self) -> None:
         self._executor.shutdown(wait=False)

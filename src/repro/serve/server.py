@@ -16,6 +16,10 @@ Operations (``{"op": ...}`` request, ``{"ok": true/false, ...}`` reply):
                     single model snapshot (bypasses the batcher).
 ``observe``         profiles of a (possibly new) application — forwarded to
                     the online update manager when one is attached.
+``observe_stream``  a continuous-maintenance observation batch — forwarded
+                    to the manager's streaming respecifier (prequential
+                    drift scoring + Gram accumulation + coefficient
+                    refresh; drift trips schedule a background re-spec).
 ``stats``           request counters, batch-occupancy histogram, model
                     version, update counters.
 ``metrics``         the process-wide ``repro.obs`` registry: a snapshot
@@ -175,6 +179,7 @@ class PredictionServer:
             "predict": self._op_predict,
             "predict_batch": self._op_predict_batch,
             "observe": self._op_observe,
+            "observe_stream": self._op_observe_stream,
             "shutdown": self._op_shutdown,
         }
 
@@ -403,6 +408,18 @@ class PredictionServer:
                 "error": "server runs without an online update manager",
             }
         return await self.manager.handle_observe(request)
+
+    async def _op_observe_stream(self, request: dict) -> dict:
+        # Duck-typed so the shard workers' observe proxy (which forwards
+        # frames to the supervisor) plugs in without subclassing.
+        handler = getattr(self.manager, "handle_observe_stream", None)
+        if handler is None:
+            return {
+                "ok": False,
+                "status": 501,
+                "error": "server runs without a streaming respecifier",
+            }
+        return await handler(request)
 
     def _op_metrics(self, request: dict) -> dict:
         if request.get("format") == "prometheus":

@@ -135,6 +135,14 @@ class _ObserveProxy:
         self.failed = 0
 
     async def handle_observe(self, request: dict) -> dict:
+        return await self._forward(request)
+
+    async def handle_observe_stream(self, request: dict) -> dict:
+        # Streaming maintenance is control-plane work just like batch
+        # observes: the supervisor owns the one StreamingRespecifier.
+        return await self._forward(request)
+
+    async def _forward(self, request: dict) -> dict:
         client = AsyncServeClient(self.host, self.port)
         try:
             await client.connect()

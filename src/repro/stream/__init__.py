@@ -1,0 +1,36 @@
+"""repro.stream — continuous model maintenance over observation streams.
+
+The paper's "dynamic spaces" made online (DESIGN.md §11): rank-k Gram
+accumulation for cheap coefficient refreshes, prequential drift
+detection with hysteresis to gate full GA re-specification, committee
+disagreement to pick which configurations to simulate next, and a
+drifting-sparsity SpMV workload to exercise all of it.
+"""
+
+from repro.stream.accumulator import (
+    ACCUMULATION_RTOL,
+    GramAccumulator,
+    StreamStateError,
+)
+from repro.stream.drift import DriftConfig, DriftDetector
+from repro.stream.respec import (
+    StreamingRespecifier,
+    StreamOutcome,
+    records_from_rows,
+)
+from repro.stream.sampler import ActiveSampler
+from repro.stream.source import DriftingSpMVSource, SpMVStreamSource
+
+__all__ = [
+    "ACCUMULATION_RTOL",
+    "ActiveSampler",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftingSpMVSource",
+    "GramAccumulator",
+    "SpMVStreamSource",
+    "StreamOutcome",
+    "StreamStateError",
+    "StreamingRespecifier",
+    "records_from_rows",
+]

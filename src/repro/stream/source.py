@@ -1,0 +1,170 @@
+"""Observation stream sources, including a drifting-sparsity SpMV workload.
+
+The ROADMAP's dynamic-sparsity item: the paper's SpMV evaluation (§5.3)
+models *static* matrices, but real sparse workloads — dynamic sparse
+training being the sharpest example — rewire their sparsity pattern at
+runtime.  :class:`DriftingSpMVSource` applies a RigL-style drop/regrow
+schedule over the CSR representation: each :meth:`~StreamSource.step`
+drops the smallest-magnitude entries and regrows the same count at
+random positions.  Repeated steps erode the dense block substructure
+register blocking exploits, so the matrix's fill-ratio surface — and
+with it the performance topology the incumbent model learned — drifts
+mid-run.  That is exactly the scenario the drift detector must catch
+(and its stationary sibling :class:`SpMVStreamSource` must *not* trip).
+
+Sources emit observations as :class:`~repro.core.dataset.ProfileDataset`
+batches under a constant application label, so the stream reads as one
+evolving application rather than a parade of new ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import ProfileDataset, ProfileRecord
+from repro.spmv.cache import CacheConfig, SPMV_HARDWARE_NAMES, sample_cache_configs
+from repro.spmv.matrices import SparseMatrix
+from repro.spmv.space import BLOCK_SIZES, SPMV_SOFTWARE_NAMES, SpMVSpace
+
+
+class SpMVStreamSource:
+    """A stationary observation stream over one matrix's HW-SW space.
+
+    ``candidates`` is the cross product of the chosen block sizes and a
+    fixed pool of sampled cache configurations; :meth:`rows` exposes the
+    candidates as raw feature rows (the representation
+    :class:`repro.stream.ActiveSampler` scores), and :meth:`batch`
+    simulates a chosen subset into profile records.
+    """
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        seed: int = 0,
+        block_sizes: Sequence[int] = BLOCK_SIZES,
+        n_caches: int = 12,
+        target: str = "mflops",
+        application: Optional[str] = None,
+    ):
+        self.seed = seed
+        self.block_sizes = tuple(block_sizes)
+        self.target = target
+        self.application = application or matrix.name
+        self.caches: List[CacheConfig] = sample_cache_configs(
+            n_caches, np.random.default_rng(seed)
+        )
+        self.step_count = 0
+        self._bind(matrix)
+
+    def _bind(self, matrix: SparseMatrix) -> None:
+        """Point the source at (a new revision of) the matrix."""
+        self.matrix = matrix
+        self.space = SpMVSpace(matrix, self.seed)
+        self.candidates: List[Tuple[int, int, CacheConfig]] = [
+            (r, c, cache)
+            for r in self.block_sizes
+            for c in self.block_sizes
+            for cache in self.caches
+        ]
+
+    # -- candidate view --------------------------------------------------------------
+
+    def rows(self) -> np.ndarray:
+        """Feature rows ``[x1..x3, y1..y7]`` for every candidate."""
+        return np.array(
+            [
+                np.concatenate([self.space.software_vector(r, c), cache.as_vector()])
+                for r, c, cache in self.candidates
+            ]
+        )
+
+    # -- observation batches ---------------------------------------------------------
+
+    def batch(self, indices: Sequence[int]) -> ProfileDataset:
+        """Simulate the chosen candidates into one observation batch."""
+        dataset = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
+        for i in indices:
+            r, c, cache = self.candidates[int(i)]
+            result = self.space.evaluate(r, c, cache)
+            dataset.add(
+                ProfileRecord(
+                    application=self.application,
+                    x=self.space.software_vector(r, c),
+                    y=cache.as_vector(),
+                    z=float(getattr(result, self.target)),
+                    tag=f"t{self.step_count}/{r}x{c}/{cache.key}",
+                )
+            )
+        return dataset
+
+    def sample(self, n: int, rng: np.random.Generator) -> ProfileDataset:
+        """A random observation batch (the non-active baseline)."""
+        indices = rng.choice(len(self.candidates), size=min(n, len(self.candidates)), replace=False)
+        return self.batch(indices)
+
+    def step(self) -> None:
+        """Advance the workload one epoch.  Stationary: nothing changes."""
+        self.step_count += 1
+
+
+class DriftingSpMVSource(SpMVStreamSource):
+    """RigL-style drop/regrow drift over the matrix's sparsity pattern.
+
+    Each step converts the CSR matrix to COO, drops the
+    ``drop_fraction`` of entries with the smallest magnitude (RigL's
+    drop criterion), and regrows the same count at uniformly random
+    empty-or-not positions with fresh values (RigL regrows by gradient;
+    without gradients, uniform regrowth is the standard random-rewire
+    baseline and erodes block structure even faster).  The revised
+    matrix gets a distinct name (``<base>@t<step>``) so store-backed
+    kernel traces of different revisions never collide.
+    """
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        seed: int = 0,
+        drop_fraction: float = 0.3,
+        **kwargs,
+    ):
+        if not 0.0 < drop_fraction < 1.0:
+            raise ValueError("drop_fraction must be in (0, 1)")
+        self.drop_fraction = drop_fraction
+        self._base_name = matrix.name
+        self._rng = np.random.default_rng(seed + 0x5EED)
+        super().__init__(matrix, seed, **kwargs)
+        self.application = kwargs.get("application") or self._base_name
+
+    def step(self) -> None:
+        """Drop the weakest entries, regrow the same count at random."""
+        self.step_count += 1
+        m = self.matrix
+        rows = np.repeat(np.arange(m.n_rows, dtype=np.int64), np.diff(m.indptr))
+        cols = m.indices.copy()
+        values = m.values.copy()
+        k = max(1, int(round(self.drop_fraction * m.nnz)))
+
+        # Drop: k smallest |value| entries, ties broken by position so the
+        # schedule is deterministic for a given seed.
+        order = np.lexsort((np.arange(len(values)), np.abs(values)))
+        keep = np.ones(len(values), dtype=bool)
+        keep[order[:k]] = False
+        rows, cols, values = rows[keep], cols[keep], values[keep]
+
+        # Regrow: k fresh entries at uniform positions (duplicates against
+        # survivors coalesce by summation in the CSR constructor, which
+        # only perturbs values — the pattern still rewires).
+        new_rows = self._rng.integers(0, m.n_rows, size=k)
+        new_cols = self._rng.integers(0, m.n_cols, size=k)
+        new_values = self._rng.uniform(0.5, 2.0, size=k)
+        revised = SparseMatrix(
+            m.n_rows,
+            m.n_cols,
+            np.concatenate([rows, new_rows]),
+            np.concatenate([cols, new_cols]),
+            np.concatenate([values, new_values]),
+            name=f"{self._base_name}@t{self.step_count}",
+        )
+        self._bind(revised)

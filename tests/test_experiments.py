@@ -156,8 +156,9 @@ class TestCLI:
         from repro.experiments.__main__ import EXPERIMENTS
 
         # Every paper artifact with data has a CLI entry (13 paper
-        # artifacts + the ablation suite + the memory extension).
-        assert len(EXPERIMENTS) == 16
+        # artifacts + the ablation suite, the memory extension, the
+        # serving demo, and the streaming demo).
+        assert len(EXPERIMENTS) == 17
 
 
 class TestExamplesCompile:

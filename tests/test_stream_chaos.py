@@ -1,0 +1,239 @@
+"""Chaos suite for the streaming subsystem's three fault sites.
+
+``stream.checkpoint`` — a process killed at the checkpoint site (or
+mid-flush inside the store write) must leave no torn state: recovery
+restores the last published checkpoint exactly.  ``stream.ingest`` — an
+ingest fault on the serving path degrades to a 500 with ``last_error``
+recorded; the server keeps serving and the next batch succeeds.
+``stream.respec`` — a failed background re-specification keeps the
+last-good model in the slot and the registry; the drift latch re-triggers
+and the retry completes.
+
+Runs in the CI chaos matrix alongside ``test_serve_chaos.py`` with
+``REPRO_CHAOS_SEED`` selecting the plan seed.
+"""
+
+import asyncio
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.faults import FaultPlan
+from repro.store import Store
+from repro.stream import DriftConfig, GramAccumulator
+from repro.serve.bootstrap import (
+    _app_records,
+    attach_streaming,
+    build_service,
+    demo_dataset,
+)
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+TRIGGER_HAPPY = DriftConfig(
+    window=8, min_fill=1, trip_ratio=1.05, clear_ratio=1.0, patience=1
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def _profiles(n, seed):
+    return [
+        {"x": p.x.tolist(), "y": p.y.tolist(), "z": p.z}
+        for p in _app_records("app0", n, np.random.default_rng(seed))
+    ]
+
+
+# -- stream.checkpoint: kill mid-checkpoint, recover untorn ----------------------------
+
+
+class TestCheckpointCrashSafety:
+    CODE = textwrap.dedent(
+        """
+        import numpy as np
+        from types import SimpleNamespace
+        from repro.store import Store
+        from repro.stream import GramAccumulator
+
+        stub = SimpleNamespace(fit_column_names=("a", "b"))
+        acc = GramAccumulator(stub, name="chaos")
+        acc.gram += np.eye(3)
+        acc.moment += 1.0
+        acc.rows, acc.batches = 3, 1
+        acc.checkpoint(Store())          # ckpt 1 publishes cleanly
+        acc.gram += np.eye(3)
+        acc.moment += 1.0
+        acc.rows, acc.batches = 6, 2
+        acc.checkpoint(Store())          # the armed fault lands here
+        """
+    )
+
+    def _run(self, root: Path, fault_spec: str):
+        env = dict(
+            os.environ,
+            REPRO_STORE_DIR=str(root),
+            PYTHONPATH=str(REPO_ROOT / "src"),
+        )
+        if fault_spec:
+            env["REPRO_FAULTS"] = f"{CHAOS_SEED}:{fault_spec}"
+        else:
+            env.pop("REPRO_FAULTS", None)
+        return subprocess.run(
+            [sys.executable, "-c", self.CODE], env=env, capture_output=True
+        )
+
+    def _assert_recovers_first_checkpoint(self, root: Path):
+        from types import SimpleNamespace
+
+        store = Store(root)
+        acc = GramAccumulator(
+            SimpleNamespace(fit_column_names=("a", "b")), name="chaos"
+        )
+        assert acc.recover(store)
+        assert (acc.rows, acc.batches, acc.seq) == (3, 1, 1)
+        np.testing.assert_array_equal(acc.gram, np.eye(3))
+        np.testing.assert_array_equal(acc.moment, np.ones(3))
+        # No torn state is *visible*: exactly one published checkpoint.
+        # (A kill inside the store write may orphan a ``.tmp-<pid>`` file;
+        # its name never matches the checkpoint pattern, so recovery and
+        # pruning ignore it by construction.)
+        ckpt_dir = root / "stream" / "chaos" / "ckpt"
+        published = [
+            p for p in ckpt_dir.iterdir() if not p.name.count(".tmp-")
+        ]
+        assert len(published) == 1
+        assert published[0].name.startswith("00000001-")
+
+    def test_kill_at_checkpoint_site_recovers_previous(self, tmp_path):
+        """Killed before the second checkpoint's write: recovery restores
+        checkpoint 1 exactly."""
+        root = tmp_path / "store"
+        proc = self._run(root, "stream.checkpoint=kill@2")
+        assert proc.returncode != 0
+        self._assert_recovers_first_checkpoint(root)
+
+    def test_kill_mid_flush_recovers_previous(self, tmp_path):
+        """Killed inside the store write (bytes durable in the temp file,
+        rename not yet done): the second checkpoint must not be visible
+        and checkpoint 1 recovers."""
+        root = tmp_path / "store"
+        proc = self._run(root, "store.flush=kill@2")
+        assert proc.returncode != 0
+        self._assert_recovers_first_checkpoint(root)
+
+    def test_fault_free_run_publishes_both(self, tmp_path):
+        root = tmp_path / "store"
+        proc = self._run(root, "")
+        assert proc.returncode == 0, proc.stderr.decode()
+        from types import SimpleNamespace
+
+        acc = GramAccumulator(
+            SimpleNamespace(fit_column_names=("a", "b")), name="chaos"
+        )
+        assert acc.recover(Store(root))
+        assert (acc.rows, acc.batches, acc.seq) == (6, 2, 2)
+
+
+# -- stream.ingest / stream.respec on the serving path ---------------------------------
+
+
+@pytest.fixture()
+def streaming_service(tmp_path):
+    server, serving, registry = build_service(
+        demo_dataset(seed=0),
+        tmp_path / "registry",
+        generations=1,
+        update_generations=1,
+        population_size=6,
+    )
+    respec = attach_streaming(serving, drift_config=TRIGGER_HAPPY)
+    yield serving, registry, respec
+    serving.close()
+
+
+class TestIngestFaults:
+    def test_ingest_fault_degrades_to_500_and_recovers(self, streaming_service):
+        serving, registry, respec = streaming_service
+        # A roomy baseline so ordinary batches refresh instead of tripping.
+        respec.set_baseline(10.0)
+
+        async def scenario():
+            plan = FaultPlan.parse("stream.ingest=raise@1", seed=CHAOS_SEED)
+            with faults.armed(plan):
+                reply = await serving.handle_observe_stream(
+                    {"application": "app0", "profiles": _profiles(8, seed=21)}
+                )
+            assert plan.injected_counts() == [1]
+            assert reply["ok"] is False and reply["status"] == 500
+            assert "InjectedFault" in reply["error"]
+            assert serving.stats.stream_failed == 1
+            assert serving.stats.last_error.startswith("InjectedFault")
+            assert obs.gauge("serve.update_last_error").value == 1.0
+            # The faulted batch was not half-ingested anywhere.
+            assert respec.batches_ingested == 0
+            assert serving.stats_dict()["stream"]["failed"] == 1
+
+            # Fault exhausted: the very next batch streams through.
+            reply = await serving.handle_observe_stream(
+                {"application": "app0", "profiles": _profiles(8, seed=22)}
+            )
+            assert reply["ok"]
+            assert respec.batches_ingested == 1
+            assert serving.stats.stream_batches == 1
+
+        asyncio.run(scenario())
+
+
+class TestRespecFaults:
+    def test_failed_respec_keeps_last_good_model_then_retries(
+        self, streaming_service
+    ):
+        serving, registry, respec = streaming_service
+        respec.set_baseline(1e-6)  # any real error trips the detector
+
+        async def scenario():
+            v_before = serving.slot.version
+            plan = FaultPlan.parse("stream.respec=raise@1", seed=CHAOS_SEED)
+            with faults.armed(plan):
+                reply = await serving.handle_observe_stream(
+                    {"application": "app0", "profiles": _profiles(8, seed=31)}
+                )
+                assert reply["ok"] and reply["respec_scheduled"]
+                await serving.wait_for_update()
+            assert plan.injected_counts() == [1]
+
+            # Degraded, not down: slot and registry keep the last-good
+            # model, the failure is visible in stats and the gauge.
+            assert serving.stats.updates_failed == 1
+            assert serving.stats.stream_respecs == 0
+            assert serving.stats.last_error.startswith("InjectedFault")
+            assert obs.gauge("serve.update_last_error").value == 1.0
+            assert serving.slot.version == v_before
+            assert registry.latest_version(serving.key) == v_before
+
+            # The drift latch is still set, so the next batch re-schedules
+            # the re-specification; fault exhausted, it completes and swaps.
+            reply = await serving.handle_observe_stream(
+                {"application": "app0", "profiles": _profiles(8, seed=32)}
+            )
+            assert reply["ok"] and reply["respec_scheduled"]
+            await serving.wait_for_update()
+            assert serving.stats.stream_respecs == 1
+            assert serving.stats.last_error is None
+            assert obs.gauge("serve.update_last_error").value == 0.0
+            assert serving.slot.version == v_before + 1
+            assert registry.latest_version(serving.key) == v_before + 1
+
+        asyncio.run(scenario())
