@@ -127,7 +127,17 @@ def serve_main(argv) -> int:
         action="store_true",
         help="attach the streaming re-specifier (enables the "
         "observe_stream op: per-batch Gram refresh, drift-triggered "
-        "background re-specification)",
+        "background re-specification; the batch observe op answers 409 "
+        "while attached)",
+    )
+    parser.add_argument(
+        "--stream-publish-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="publish only every Nth coefficient refresh to the registry "
+        "(each publish is a durable fsync + a new version; "
+        "re-specifications always publish immediately)",
     )
     parser.add_argument(
         "--metrics-dump",
@@ -147,6 +157,8 @@ def serve_main(argv) -> int:
 
     if args.shards < 1:
         parser.error("--shards must be >= 1")
+    if args.stream_publish_every < 1:
+        parser.error("--stream-publish-every must be >= 1")
     if args.shards > 1:
         return _serve_sharded(args)
 
@@ -169,8 +181,12 @@ def serve_main(argv) -> int:
     if args.stream:
         from repro.serve.bootstrap import attach_streaming
 
-        attach_streaming(serving)
-        print("streaming re-specifier attached (observe_stream)", flush=True)
+        attach_streaming(serving, publish_every=args.stream_publish_every)
+        print(
+            "streaming re-specifier attached (observe_stream; "
+            f"publishing every {args.stream_publish_every} refreshes)",
+            flush=True,
+        )
 
     async def run() -> None:
         await server.start()

@@ -122,13 +122,18 @@ def build_service(
     return server, serving, registry
 
 
-def attach_streaming(serving: ServingManager, **respec_kwargs) -> object:
+def attach_streaming(
+    serving: ServingManager, publish_every: int = 1, **respec_kwargs
+) -> object:
     """Wire a :class:`repro.stream.StreamingRespecifier` into a built service.
 
     Reuses the ModelManager's dataset, GA search (so re-specifications
     warm-start from its retained population), and bootstrap search result
-    — no second GA run.  Extra kwargs go to the respecifier constructor
-    (``drift_config``, ``checkpoint_every``, ...).
+    — no second GA run.  ``publish_every`` throttles per-refresh registry
+    publishes (see :meth:`ServingManager.attach_stream`); extra kwargs go
+    to the respecifier constructor (``drift_config``,
+    ``checkpoint_every``, ...).  Once attached, the batch ``observe`` op
+    is rejected in favor of ``observe_stream``.
     """
     from repro.stream import StreamingRespecifier
 
@@ -139,5 +144,5 @@ def attach_streaming(serving: ServingManager, **respec_kwargs) -> object:
         manager.dataset, manager.search, **respec_kwargs
     )
     respec.bootstrap_from(manager.last_search_result)
-    serving.attach_stream(respec)
+    serving.attach_stream(respec, publish_every=publish_every)
     return respec

@@ -30,6 +30,13 @@ an unobserved task exception.  Serving never stops because learning
 stumbled.  The ``serve.update`` fault site injects such failures in
 ``tests/test_serve_chaos.py``.
 
+When a :class:`repro.stream.StreamingRespecifier` is attached
+(:meth:`ServingManager.attach_stream`), continuous maintenance replaces
+the batch flow outright: ``observe_stream`` frames drive
+ingest/refresh/re-spec, and batch ``observe`` frames are rejected with a
+409 — the two paths each keep their own incumbent model, so letting both
+publish would silently revert each other's updates.
+
 Swap safety and version monotonicity are asserted by
 ``tests/test_serve_manager.py``.
 """
@@ -104,8 +111,13 @@ class ServingManager:
         self._lock = asyncio.Lock()
         self._update_task: Optional[asyncio.Task] = None
         #: Optional :class:`repro.stream.StreamingRespecifier` powering the
-        #: ``observe_stream`` path (see :meth:`attach_stream`).
+        #: ``observe_stream`` path (see :meth:`attach_stream`).  While
+        #: attached, the batch ``observe`` path is rejected (409): both
+        #: maintenance paths publish to the same slot and would silently
+        #: revert each other's models otherwise.
         self.stream = None
+        self._stream_publish_every = 1
+        self._refreshes_since_publish = 0
         #: Optional async hook ``on_swap(version)`` awaited after each
         #: successful publish-then-swap.  The shard supervisor registers
         #: its fleet-wide reload broadcast here; failures are counted
@@ -130,7 +142,24 @@ class ServingManager:
     # -- observe path --------------------------------------------------------------
 
     async def handle_observe(self, request: dict) -> dict:
-        """Serve one ``observe`` frame; may schedule a background update."""
+        """Serve one ``observe`` frame; may schedule a background update.
+
+        Rejected (409) while a streaming respecifier is attached: the
+        batch updater and the respecifier each keep their own incumbent
+        and publish to the same slot, so running both would let either
+        maintenance path silently revert the other's published model.
+        """
+        if self.stream is not None:
+            obs.counter("serve.observe_rejected_streaming").inc()
+            return {
+                "ok": False,
+                "status": 409,
+                "error": (
+                    "batch 'observe' is disabled while a streaming "
+                    "respecifier is attached (the two maintenance paths "
+                    "would fight over the model slot); use 'observe_stream'"
+                ),
+            }
         application = request["application"]
         profiles = [
             ProfileRecord(
@@ -175,16 +204,30 @@ class ServingManager:
 
     # -- streaming observe path ----------------------------------------------------
 
-    def attach_stream(self, respecifier) -> None:
+    def attach_stream(self, respecifier, publish_every: int = 1) -> None:
         """Enable continuous maintenance via a bootstrapped respecifier.
 
         The respecifier's incumbent model should be the one served (or an
         ancestor of it): refreshed/re-specified models are published and
-        swapped into the slot exactly like batch updates.
+        swapped into the slot exactly like batch updates.  While attached,
+        the batch ``observe`` op is rejected — see :meth:`handle_observe`.
+
+        ``publish_every`` throttles how often coefficient *refreshes*
+        reach the registry: every registry publish is a durable
+        tmp/fsync/rename write plus a new version, so publishing each
+        refresh puts a disk fsync on the hot ingest path and grows the
+        registry without bound.  With ``publish_every=N`` only every Nth
+        refresh is published (re-specifications always publish
+        immediately); deployments ingesting at rate should set N > 1 here
+        or ``refresh_every`` > 1 on the respecifier.
         """
         if respecifier.model is None:
             raise RuntimeError("bootstrap() the respecifier before attaching")
+        if publish_every < 1:
+            raise ValueError("publish_every must be >= 1")
         self.stream = respecifier
+        self._stream_publish_every = publish_every
+        self._refreshes_since_publish = 0
 
     async def handle_observe_stream(self, request: dict) -> dict:
         """Serve one ``observe_stream`` frame: ingest, maybe refresh/respec.
@@ -238,8 +281,15 @@ class ServingManager:
             self.stats.stream_batches += 1
             obs.counter("serve.stream_batches").inc()
             if outcome.refreshed:
-                self._publish_stream_model("stream-refresh")
                 self.stats.stream_refreshes += 1
+                self._refreshes_since_publish += 1
+                if self._refreshes_since_publish >= self._stream_publish_every:
+                    self._publish_stream_model("stream-refresh")
+                else:
+                    # Throttled (attach_stream publish_every): the refresh
+                    # updated the in-memory incumbent; the durable publish
+                    # rides along with a later refresh or re-spec.
+                    obs.counter("serve.stream_publish_deferred").inc()
             if outcome.needs_respec and not self.update_in_progress:
                 self._update_task = loop.create_task(self._run_stream_respec())
                 self.stats.updates_started += 1
@@ -257,7 +307,14 @@ class ServingManager:
         }
 
     def _publish_stream_model(self, trigger: str) -> int:
-        """Durable-then-visible publish of the stream's incumbent model."""
+        """Durable-then-visible publish of the stream's incumbent model.
+
+        Must run under ``self._lock``: it reads the respecifier's model
+        and detector, which ``stream.ingest`` mutates on the executor
+        thread during ``handle_observe_stream`` (which holds the lock
+        across that executor hop).
+        """
+        self._refreshes_since_publish = 0
         receipt = self.registry.publish(
             self.key,
             self.stream.model,
@@ -273,15 +330,26 @@ class ServingManager:
         return receipt.version
 
     async def _run_stream_respec(self) -> None:
-        """Background drift-triggered re-specification (GA warm-start)."""
+        """Background drift-triggered re-specification (GA warm-start).
+
+        The GA itself runs lock-free (the single-worker executor already
+        serializes it against ingests), but the publish step takes
+        ``self._lock``, mirroring :meth:`handle_observe_stream`'s refresh
+        publishes: publishing reads the respecifier's model and detector
+        window, which a concurrent ``observe_stream`` frame mutates on
+        the executor thread while holding the lock — an unlocked publish
+        can crash on the detector's deque mutating mid-``score()`` and
+        record the successful respec as failed.
+        """
         loop = asyncio.get_running_loop()
         try:
             with obs.span("serve.stream_respec"):
                 await loop.run_in_executor(self._executor, self.stream.respec)
-            version = self._publish_stream_model("stream-respec")
-            self.stats.stream_respecs += 1
-            self.stats.updates_completed += 1
-            _record_last_error(self.stats, None)
+            async with self._lock:
+                version = self._publish_stream_model("stream-respec")
+                self.stats.stream_respecs += 1
+                self.stats.updates_completed += 1
+                _record_last_error(self.stats, None)
             obs.counter("serve.stream_respecs").inc()
             if self.on_swap is not None:
                 try:

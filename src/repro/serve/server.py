@@ -16,6 +16,9 @@ Operations (``{"op": ...}`` request, ``{"ok": true/false, ...}`` reply):
                     single model snapshot (bypasses the batcher).
 ``observe``         profiles of a (possibly new) application — forwarded to
                     the online update manager when one is attached.
+                    Rejected (409) while a streaming respecifier is
+                    attached: the two maintenance paths would fight over
+                    the model slot; use ``observe_stream`` instead.
 ``observe_stream``  a continuous-maintenance observation batch — forwarded
                     to the manager's streaming respecifier (prequential
                     drift scoring + Gram accumulation + coefficient

@@ -11,6 +11,7 @@ from repro.stream.accumulator import (
     ACCUMULATION_RTOL,
     GramAccumulator,
     StreamStateError,
+    spec_digest,
 )
 from repro.stream.drift import DriftConfig, DriftDetector
 from repro.stream.respec import (
@@ -33,4 +34,5 @@ __all__ = [
     "StreamStateError",
     "StreamingRespecifier",
     "records_from_rows",
+    "spec_digest",
 ]

@@ -21,15 +21,22 @@ full dataset (:meth:`GramAccumulator.from_model`).
 
 Checkpoints persist through :mod:`repro.store`: the whole state is packed
 into a single flat column written write-once under a content-addressed
-key (``stream/<name>/ckpt/<seq>-<digest>``), so a crash — including a
-kill injected at the ``stream.checkpoint`` fault site or mid-flush at
-``store.flush`` — can never tear a checkpoint; recovery scans for the
-newest checkpoint whose embedded digest verifies.
+key (``stream/<name>/ckpt/<seq>-<spec>-<digest>``), so a crash —
+including a kill injected at the ``stream.checkpoint`` fault site or
+mid-flush at ``store.flush`` — can never tear a checkpoint; recovery
+scans for the newest checkpoint whose embedded digest verifies.  The
+``<spec>`` component is a digest of the specification's design-defining
+state (spec, fitted transforms, surviving columns — NOT the
+coefficients, which refreshes rebind): recovery and pruning only ever
+consider checkpoints of the *current* specification, so a
+re-specification that happens to land on the same design width can
+never resurrect the old specification's Gram blocks.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import re
 from typing import List, Optional, Tuple
 
@@ -54,11 +61,33 @@ CHECKPOINT_FORMAT = 1.0
 #: Header slots ahead of the moment/gram data: format, seq, rows, batches, p.
 _HEADER = 5
 
-_CKPT_NAME = re.compile(r"^(\d{8})-([0-9a-f]{12})\.npy$")
+_CKPT_NAME = re.compile(r"^(\d{8})-([0-9a-f]{8})-([0-9a-f]{12})\.npy$")
 
 
 class StreamStateError(RuntimeError):
     """Accumulator state could not be checkpointed or recovered."""
+
+
+def spec_digest(model) -> str:
+    """Digest of the design-defining state the accumulator is frozen to.
+
+    Covers the specification, fitted transform state, surviving columns
+    and response — everything :meth:`InferredModel.prepared_design`
+    depends on — and deliberately NOT the fitted coefficients, which
+    :meth:`GramAccumulator.refresh`/:meth:`InferredModel.refit_from`
+    rebind without changing the design.  Models that cannot serialize
+    (the test-suite stubs) fall back to their column names.
+    """
+    try:
+        from repro.core import serialize
+
+        body = serialize.model_to_dict(model)
+        body.pop("fit", None)
+        body.pop("checksum", None)
+        blob = json.dumps(body, sort_keys=True)
+    except Exception:
+        blob = repr(tuple(getattr(model, "fit_column_names", ())))
+    return hashlib.sha256(blob.encode()).hexdigest()[:8]
 
 
 class GramAccumulator:
@@ -70,15 +99,19 @@ class GramAccumulator:
     blocks are always over the exact design the model's fit consumes.
     """
 
-    def __init__(self, model: InferredModel, name: str = "default"):
+    def __init__(self, model: InferredModel, name: str = "default", seq: int = 0):
         self.model = model
         self.name = name
+        self.spec_digest = spec_digest(model)
         p = len(model.fit_column_names) + 1  # + intercept
         self.gram = np.zeros((p, p))
         self.moment = np.zeros(p)
         self.rows = 0
         self.batches = 0
-        self.seq = 0  # checkpoint sequence number
+        # Checkpoint sequence number.  Carried forward across
+        # re-specifications (see StreamingRespecifier._adopt) so post-respec
+        # checkpoints always outrank pre-respec ones in pruning and recovery.
+        self.seq = seq
 
     @classmethod
     def from_model(
@@ -86,9 +119,10 @@ class GramAccumulator:
         model: InferredModel,
         dataset: Optional[ProfileDataset] = None,
         name: str = "default",
+        seq: int = 0,
     ) -> "GramAccumulator":
         """An accumulator seeded with ``dataset``'s rows (if given)."""
-        acc = cls(model, name)
+        acc = cls(model, name, seq=seq)
         if dataset is not None and len(dataset):
             acc.ingest(dataset)
         return acc
@@ -173,7 +207,7 @@ class GramAccumulator:
         self.seq += 1
         payload = self._payload()
         digest = hashlib.sha256(payload.tobytes()).hexdigest()[:12]
-        key = f"stream/{self.name}/ckpt/{self.seq:08d}-{digest}"
+        key = f"stream/{self.name}/ckpt/{self.seq:08d}-{self.spec_digest}-{digest}"
         faults.site("stream.checkpoint")
         with obs.span("stream.checkpoint"):
             store.put(key, payload)
@@ -190,23 +224,54 @@ class GramAccumulator:
             except OSError:
                 pass
 
+    def purge_other_specs(self, store: Optional[store_mod.Store] = None) -> int:
+        """Best-effort removal of checkpoints from other specifications.
+
+        Called after a re-specification adopts a new design: the old
+        specification's checkpoints are dead weight (recovery filters
+        them out regardless), so they are unlinked rather than left to
+        accumulate under the shared ``stream/<name>/ckpt/`` namespace.
+        Returns the number of columns removed.
+        """
+        store = store or store_mod.Store()
+        removed = 0
+        for _, path in self._list_checkpoints(store, all_specs=True):
+            match = _CKPT_NAME.match(path.name)
+            if match.group(2) == self.spec_digest:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
     def _list_checkpoints(
-        self, store: store_mod.Store
+        self, store: store_mod.Store, all_specs: bool = False
     ) -> List[Tuple[int, object]]:
+        """Seq-sorted checkpoints of this accumulator's specification.
+
+        Other specifications' checkpoints (same stream name, different
+        ``spec_digest`` — e.g. left behind by a crash between respec and
+        purge) are invisible here unless ``all_specs`` is set, which is
+        what keeps pruning and recovery from ever touching them.
+        """
         directory = self._ckpt_dir(store)
         if not directory.is_dir():
             return []
         entries = []
         for path in directory.iterdir():
             match = _CKPT_NAME.match(path.name)
-            if match:
+            if match and (all_specs or match.group(2) == self.spec_digest):
                 entries.append((int(match.group(1)), path))
         return sorted(entries)
 
     def recover(self, store: Optional[store_mod.Store] = None) -> bool:
         """Restore the newest verifiable checkpoint, if any.
 
-        Scans checkpoints newest-first; each candidate must load (the
+        Scans this specification's checkpoints newest-first (checkpoints
+        written under a different ``spec_digest`` are never candidates,
+        whatever their design width); each candidate must load (the
         store quarantines torn ``.npy`` files) *and* its recomputed
         digest must match the content-addressed key — so a corrupted
         column silently falls through to the previous checkpoint instead

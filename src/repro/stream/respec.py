@@ -148,13 +148,31 @@ class StreamingRespecifier:
         return self.model
 
     def _adopt(self, result: SearchResult) -> None:
-        """Rebuild all per-specification state around a GA result."""
+        """Rebuild all per-specification state around a GA result.
+
+        The checkpoint sequence number carries over from the previous
+        accumulator: checkpoints of the new specification must outrank
+        every pre-respec checkpoint, or pruning would keep the stale ones
+        and recovery would prefer them.  The old specification's
+        checkpoints are purged outright (they are spec-tagged, so
+        recovery would skip them anyway — this just reclaims the space).
+        """
         self.last_result = result
         self.model = result.best_model(self.dataset)
         self.reference = self.model
+        previous = self.accumulator
         self.accumulator = GramAccumulator.from_model(
-            self.model, self.dataset, name=self.name
+            self.model,
+            self.dataset,
+            name=self.name,
+            seq=previous.seq if previous is not None else 0,
         )
+        if (
+            previous is not None
+            and previous.spec_digest != self.accumulator.spec_digest
+            and (self.store is not None or store_mod.enabled())
+        ):
+            self.accumulator.purge_other_specs(self.store)
         baseline = max(result.best_fitness.mean_error, 1e-6)
         if self.detector is None:
             self.detector = DriftDetector(baseline, self.drift_config)

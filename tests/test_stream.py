@@ -436,6 +436,81 @@ class TestCheckpointRoundTrip:
         assert len(acc._list_checkpoints(store)) == 3
         assert acc._list_checkpoints(store)[-1][0] == 5
 
+    def test_same_width_different_spec_is_never_restored(self, tmp_path):
+        """The poisoning scenario: a checkpoint from a DIFFERENT spec with
+        the SAME design width must not seed this accumulator's blocks."""
+        store = Store(tmp_path / "store")
+        old = GramAccumulator(
+            SimpleNamespace(fit_column_names=("a", "b")), name="sw"
+        )
+        old.gram += np.eye(3)
+        old.rows = 7
+        old.checkpoint(store)
+
+        same_width = GramAccumulator(
+            SimpleNamespace(fit_column_names=("c", "d")), name="sw"
+        )
+        assert not same_width.recover(store)
+        assert same_width.rows == 0
+
+    def test_purge_other_specs(self, tmp_path):
+        store = Store(tmp_path / "store")
+        old = GramAccumulator(
+            SimpleNamespace(fit_column_names=("a", "b")), name="pg"
+        )
+        old.checkpoint(store)
+        new = GramAccumulator(
+            SimpleNamespace(fit_column_names=("c", "d")), name="pg",
+            seq=old.seq,
+        )
+        new.checkpoint(store)
+        assert new.purge_other_specs(store) == 1
+        assert len(new._list_checkpoints(store, all_specs=True)) == 1
+        # The old spec's checkpoint is gone for good.
+        revived = GramAccumulator(
+            SimpleNamespace(fit_column_names=("a", "b")), name="pg"
+        )
+        assert not revived.recover(store)
+
+    def test_respec_interleaved_with_checkpoints(self, tmp_path, stream_dataset):
+        """Checkpoint → respec → checkpoint: the sequence counter carries
+        across the respec, so pruning keeps the post-respec checkpoints
+        and recovery restores the CURRENT accumulator's state — never the
+        pre-respec blocks."""
+        ds = ProfileDataset(stream_dataset.x_names, stream_dataset.y_names)
+        ds.extend(stream_dataset.records)
+        store = Store(tmp_path / "store")
+        respec = StreamingRespecifier(
+            ds,
+            GeneticSearch(population_size=6, seed=0),
+            FAST_DRIFT,
+            checkpoint_every=1,
+            store=store,
+            name="il",
+        )
+        respec.bootstrap(generations=1)
+        respec.set_baseline(10.0)  # roomy: refreshes only
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            respec.ingest(_batch(ds, 8, rng))
+        seq_before = respec.accumulator.seq
+        assert seq_before == 3
+
+        respec.respec(generations=1)
+        assert respec.accumulator.seq == seq_before  # carried forward
+        respec.ingest(_batch(ds, 8, rng))  # checkpoints at seq_before + 1
+
+        acc = respec.accumulator
+        entries = acc._list_checkpoints(store)
+        assert entries and entries[-1][0] == seq_before + 1
+
+        fresh = GramAccumulator(acc.model, name="il")
+        assert fresh.recover(store)
+        assert fresh.seq == seq_before + 1
+        assert fresh.rows == acc.rows
+        np.testing.assert_array_equal(fresh.gram, acc.gram)
+        np.testing.assert_array_equal(fresh.moment, acc.moment)
+
     def test_respecifier_checkpoint_wiring(self, tmp_path, stream_dataset):
         ds = ProfileDataset(stream_dataset.x_names, stream_dataset.y_names)
         ds.extend(stream_dataset.records)
@@ -536,6 +611,74 @@ class TestObserveStreamServing:
         finally:
             serving.close()
 
+    def test_batch_observe_rejected_while_stream_attached(self, tmp_path):
+        """The two maintenance paths must not fight over the model slot:
+        with a respecifier attached, the batch 'observe' op is a 409."""
+        from repro.serve.bootstrap import (
+            attach_streaming,
+            build_service,
+            demo_dataset,
+        )
+
+        server, serving, _ = build_service(
+            demo_dataset(seed=0),
+            tmp_path / "registry",
+            generations=1,
+            population_size=6,
+        )
+        attach_streaming(serving, drift_config=FAST_DRIFT)
+        try:
+            reply = asyncio.run(
+                serving.handle_observe(
+                    {"application": "app0", "profiles": _profiles(4, seed=3)}
+                )
+            )
+            assert reply["ok"] is False and reply["status"] == 409
+            assert "observe_stream" in reply["error"]
+            assert serving.stats.observations == 0
+            assert not serving.update_in_progress
+        finally:
+            serving.close()
+
+    def test_refresh_publish_throttle(self, tmp_path):
+        """publish_every=N: refreshes update the in-memory incumbent every
+        batch, but only every Nth refresh reaches the registry/slot —
+        keeping the durable fsync off the hot ingest path."""
+        from repro.serve.bootstrap import (
+            attach_streaming,
+            build_service,
+            demo_dataset,
+        )
+
+        server, serving, registry = build_service(
+            demo_dataset(seed=0),
+            tmp_path / "registry",
+            generations=1,
+            population_size=6,
+        )
+        respec = attach_streaming(
+            serving, publish_every=3, drift_config=FAST_DRIFT
+        )
+        respec.set_baseline(10.0)  # roomy: refresh, never trip
+
+        async def scenario():
+            v_before = serving.slot.version
+            for k in range(3):
+                reply = await serving.handle_observe_stream(
+                    {"application": "app0", "profiles": _profiles(8, seed=40 + k)}
+                )
+                assert reply["ok"] and reply["action"] == "refresh"
+                if k < 2:
+                    assert serving.slot.version == v_before  # deferred
+            assert serving.stats.stream_refreshes == 3
+            assert serving.slot.version == v_before + 1  # published once
+            assert registry.latest_version(serving.key) == v_before + 1
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            serving.close()
+
     def test_no_stream_attached_is_501(self, tmp_path):
         from repro.serve.bootstrap import build_service, demo_dataset
 
@@ -595,6 +738,61 @@ class TestObserveStreamServing:
             assert serving.slot.version == v_before + 1
             assert registry.latest_version(serving.key) == v_before + 1
             assert serving.stats_dict()["stream"]["respecs"] == 1
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            serving.close()
+
+    def test_respec_publishes_under_manager_lock(self, tmp_path):
+        """The background respec's publish step must serialize on the
+        manager lock (a concurrent observe_stream frame mutates the
+        detector window on the executor while holding it): with the lock
+        held externally, a finished GA must NOT publish until release."""
+        from repro.serve.bootstrap import (
+            attach_streaming,
+            build_service,
+            demo_dataset,
+        )
+
+        server, serving, registry = build_service(
+            demo_dataset(seed=0),
+            tmp_path / "registry",
+            generations=1,
+            update_generations=1,
+            population_size=6,
+        )
+        respec = attach_streaming(
+            serving,
+            drift_config=DriftConfig(
+                window=8, min_fill=1, trip_ratio=1.05, clear_ratio=1.0,
+                patience=1,
+            ),
+        )
+        respec.set_baseline(1e-6)  # any real error trips immediately
+
+        async def scenario():
+            v_before = serving.slot.version
+            reply = await serving.handle_observe_stream(
+                {"application": "app0", "profiles": _profiles(8, seed=17)}
+            )
+            assert reply["ok"] and reply["respec_scheduled"]
+            async with serving._lock:
+                # Let the GA finish on the executor while we still hold
+                # the lock...
+                for _ in range(500):
+                    if respec.respecs == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert respec.respecs == 1
+                await asyncio.sleep(0.05)
+                # ...the respec task must be parked on the lock, publish
+                # not yet visible anywhere.
+                assert serving.slot.version == v_before
+                assert serving.stats.stream_respecs == 0
+            await serving.wait_for_update()
+            assert serving.stats.stream_respecs == 1
+            assert serving.slot.version == v_before + 1
 
         try:
             asyncio.run(scenario())
