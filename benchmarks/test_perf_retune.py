@@ -1,0 +1,148 @@
+"""Benchmark: drift-triggered re-tuning vs from-scratch exhaustive search.
+
+The online re-tuning loop (DESIGN.md §12) is only deployable if a
+model-guided re-tune is much cheaper than re-running the exhaustive
+coordinated search it replaces.  This benchmark times both on the same
+candidate pool over a fresh :class:`~repro.spmv.SpMVSpace` per arm
+(memoization would otherwise contaminate the comparison):
+
+1. **Exhaustive** — truly simulate every (r, c, cache) candidate, the
+   offline bootstrap-tuning cost.
+2. **Retune** — rank all candidates with a fitted SpMV model, verify the
+   top-5 with true simulations, re-measure the incumbent, and account
+   the switch-over cost (what :class:`repro.stream.OnlineRetuner` runs
+   after every re-specification).
+
+Writes ``BENCH_tuning.json`` at the repository root (gated against the
+committed baseline by ``scripts/check_bench.py``: ``speedup`` is
+floor-gated, the raw millisecond timings and the quality fraction are
+informational) and dumps the obs registry to
+``reports/metrics_tuning.jsonl``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_retune.py -q
+
+``REPRO_BENCH_SMOKE=1`` shrinks the candidate pool and reps for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.spmv import TuningSearch, default_cache, fit_spmv_model
+from repro.spmv.matrices import fem_matrix
+from repro.spmv.space import SpMVSpace
+from repro.stream import OnlineRetuner, SpMVStreamSource, TuningState
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_tuning.json"
+
+N_CACHES = 6 if SMOKE else 10
+TRAIN_RECORDS = 48 if SMOKE else 120
+REPS = 1 if SMOKE else 3
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    yield
+    if not RESULTS:
+        return
+    payload = {
+        "smoke": SMOKE,
+        "n_caches": N_CACHES,
+        "reps": REPS,
+        **RESULTS,
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report_dir = obs.default_report_dir()
+    if report_dir is not None and obs.enabled():
+        obs.export_jsonl(report_dir / "metrics_tuning.jsonl", run="tuning")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Matrix, candidate pool, fitted model, and a warm trace store."""
+    matrix = fem_matrix(40, 3, 4, 8, 13, "bench-tuning")
+    source = SpMVStreamSource(matrix, seed=0, n_caches=N_CACHES)
+    model = fit_spmv_model(
+        source.sample(TRAIN_RECORDS, np.random.default_rng(3))
+    )
+    # Warm pass: every candidate simulated once on a throwaway space so
+    # both timed arms measure simulation cost, not one-off trace builds,
+    # and the true optimum is known for the quality check.
+    warm = SpMVSpace(matrix, seed=0)
+    truth = {
+        (r, c, cache.key): warm.evaluate(r, c, cache).mflops
+        for r, c, cache in source.candidates
+    }
+    incumbent = TuningState(1, 1, default_cache(), warm.evaluate(1, 1, default_cache()).mflops)
+    return dict(
+        matrix=matrix,
+        source=source,
+        model=model,
+        best_true=max(truth.values()),
+        incumbent=incumbent,
+    )
+
+
+class TestRetunePerf:
+    def test_retune_vs_exhaustive(self, workload):
+        source = workload["source"]
+        candidates = source.candidates
+
+        # Arm 1: from-scratch exhaustive coordinated search.
+        exhaustive = []
+        for _ in range(REPS):
+            space = SpMVSpace(workload["matrix"], seed=0)
+            start = time.perf_counter()
+            search = TuningSearch(space, model=None)
+            best_ex = search.choose_verified(candidates)
+            exhaustive.append(time.perf_counter() - start)
+        exhaustive_s = min(exhaustive)
+
+        # Arm 2: model-guided retune (rank all, verify top-5, re-measure
+        # the incumbent, decide against the amortized switch-over cost).
+        retune = []
+        for _ in range(REPS):
+            space = SpMVSpace(workload["matrix"], seed=0)
+            retuner = OnlineRetuner(lambda: space, source.caches)
+            retuner.current = workload["incumbent"]
+            start = time.perf_counter()
+            decision = retuner.retune(workload["model"], trigger="manual")
+            retune.append(time.perf_counter() - start)
+        retune_s = min(retune)
+
+        speedup = exhaustive_s / retune_s
+        quality = decision.candidate.mflops / workload["best_true"]
+        RESULTS["retune_vs_exhaustive"] = {
+            "exhaustive_ms": round(exhaustive_s * 1e3, 2),
+            "retune_ms": round(retune_s * 1e3, 2),
+            "speedup": round(speedup, 1),
+            "candidates": len(candidates),
+            "verified_per_retune": retuner.verify_top + 1,  # top-N + incumbent
+            "quality_fraction": round(quality, 4),
+        }
+        # The reported winner is always a true measurement, and the
+        # exhaustive arm found the known optimum.
+        assert decision.verified
+        assert best_ex.mflops == workload["best_true"]
+        if not SMOKE:
+            assert speedup >= 5.0, (
+                f"model-guided retune must be >= 5x cheaper than exhaustive "
+                f"search, measured {speedup:.1f}x "
+                f"({retune_s * 1e3:.1f} ms vs {exhaustive_s * 1e3:.1f} ms)"
+            )
+            assert quality >= 0.5, (
+                f"verified retune winner reached only {quality:.2f} of the "
+                f"true optimum"
+            )

@@ -41,10 +41,15 @@ EXPERIMENTS = {
     "fig15": ("fig15_topology", "Figure 15 — performance topology"),
     "fig16": ("fig16_tuning", "Figure 16 — coordinated tuning"),
     "stream": ("stream_demo", "Streaming re-spec — drift detection on a drifting-sparsity SpMV stream"),
+    "retune": ("retune_demo", "Online re-tuning — drift-triggered coordinated (r, c, cache) migration"),
     "ablations": ("ablations", "Ablations — sharding, stabilization, response scale, synthetic coverage"),
     "ext-memory": ("ext_memory", "Extension — memory-behavior characteristics x14..x17"),
     "val-timing": ("val_timing", "Validation — interval model vs cycle-level simulation"),
 }
+
+
+class ExperimentCheckError(AssertionError):
+    """An experiment ran but failed its own acceptance check."""
 
 
 def run_experiment(key: str, scale, svg_dir=None) -> str:
@@ -53,6 +58,12 @@ def run_experiment(key: str, scale, svg_dir=None) -> str:
     The spans land in the process metrics registry as per-figure phase
     timings (``span.experiment.<key>.<phase>.*``), which ``main`` exports
     as JSONL next to the text reports.
+
+    Modules may define a ``check(result)`` hook raising ``AssertionError``
+    when the run fails its own acceptance criterion (e.g. the stream demo's
+    drift gate never tripping); the failure is re-raised as
+    :class:`ExperimentCheckError` so ``main`` can exit non-zero instead of
+    letting a regressed demo pass silently.
     """
     module_name, _ = EXPERIMENTS[key]
     module = importlib.import_module(f"repro.experiments.{module_name}")
@@ -61,6 +72,14 @@ def run_experiment(key: str, scale, svg_dir=None) -> str:
             result = module.run(scale)
         with obs.span(f"experiment.{key}.report"):
             report = module.report(result)
+        checker = getattr(module, "check", None)
+        if checker is not None:
+            try:
+                checker(result)
+            except AssertionError as exc:
+                error = ExperimentCheckError(f"{key}: {exc}")
+                error.report = report  # let main print the evidence
+                raise error from exc
         if svg_dir is not None:
             from repro.viz import render
 
@@ -322,12 +341,21 @@ def main(argv=None) -> int:
     if report_dir is not None:
         report_dir.mkdir(parents=True, exist_ok=True)
 
+    status = 0
     for key in keys:
         start = time.time()
-        report = run_experiment(key, scale, args.svg)
+        try:
+            report = run_experiment(key, scale, args.svg)
+            failure = None
+        except ExperimentCheckError as exc:
+            report = getattr(exc, "report", "")
+            failure = str(exc)
+            status = 1
         header = f"[{key} @ scale={scale.name}, {time.time() - start:.1f}s]"
         print(f"\n{header}")
         print(report)
+        if failure is not None:
+            print(f"FAILED check: {failure}", file=sys.stderr)
         if report_dir is not None:
             path = report_dir / f"{key.replace('-', '_')}.txt"
             path.write_text(f"{header}\n{report}\n")
@@ -336,7 +364,7 @@ def main(argv=None) -> int:
             report_dir / "metrics_experiments.jsonl", run="experiments"
         )
         print(f"\n[metrics] {metrics_path}")
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -181,3 +181,22 @@ def report(result: Dict[str, object]) -> str:
         f"  {verdict}",
     ]
     return "\n".join(lines)
+
+
+def check(result: Dict[str, object]) -> None:
+    """Fail loudly when the drift gate did not separate the scenarios.
+
+    The demo's whole claim is the separation; a regressed detector must
+    not exit 0 (the runner turns this into a non-zero exit).
+    """
+    drift, stat = result["drifting"], result["stationary"]
+    if drift["trips"] < 1:
+        raise AssertionError(
+            "drifting stream never tripped a re-specification "
+            f"(max drift score {drift['max_score']:.2f})"
+        )
+    if stat["trips"] != 0:
+        raise AssertionError(
+            f"stationary control tripped {stat['trips']} re-specification(s) "
+            f"(max drift score {stat['max_score']:.2f})"
+        )

@@ -640,9 +640,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--shutdown", action="store_true", help="stop the server when done"
     )
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="readiness-poll timeout before the first request (raise it "
+        "when the server bootstraps a model or a sharded fleet first)",
+    )
     args = parser.parse_args(argv)
 
-    client = wait_for_server(args.host, args.port)
+    client = wait_for_server(args.host, args.port, timeout=args.wait)
     info = client.info()
     print(f"server up: model v{info['model_version']}, "
           f"{len(info['variables'])} variables, {info['n_terms']} terms")

@@ -46,7 +46,13 @@ from repro.spmv.space import (
     BLOCK_SIZES,
 )
 from repro.spmv.model import spmv_model_spec, fit_spmv_model, predicted_topology
-from repro.spmv.tuning import TuningResult, TuningSearch, tuning_cache_candidates
+from repro.spmv.tuning import (
+    NoVerifiedCandidateError,
+    TuningResult,
+    TuningSearch,
+    VerifiedCandidate,
+    tuning_cache_candidates,
+)
 
 __all__ = [
     "SparseMatrix",
@@ -82,7 +88,9 @@ __all__ = [
     "spmv_model_spec",
     "fit_spmv_model",
     "predicted_topology",
+    "NoVerifiedCandidateError",
     "TuningResult",
     "TuningSearch",
+    "VerifiedCandidate",
     "tuning_cache_candidates",
 ]

@@ -34,6 +34,30 @@ from repro.spmv.cache import (
 from repro.spmv.space import BLOCK_SIZES, SPMV_SOFTWARE_NAMES, SpMVSpace
 
 
+class NoVerifiedCandidateError(RuntimeError):
+    """Every candidate selected for verification failed true measurement."""
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifiedCandidate:
+    """One candidate whose performance was *truly measured* (never modeled).
+
+    ``predicted`` is the model's score used for ranking (equal to
+    ``mflops`` in the model-free exhaustive path); ``mflops`` is always a
+    true simulated measurement from :meth:`SpMVSpace.evaluate`.
+    """
+
+    r: int
+    c: int
+    cache: CacheConfig
+    predicted: float
+    mflops: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.r}x{self.c}/{self.cache.key}"
+
+
 @dataclasses.dataclass(frozen=True)
 class TuningResult:
     """Outcome of one tuning strategy on one matrix."""
@@ -109,37 +133,78 @@ class TuningSearch:
 
     # -- internals ------------------------------------------------------------------
 
+    def rank_and_verify(
+        self, candidates: List[Tuple[int, int, CacheConfig]]
+    ) -> List[VerifiedCandidate]:
+        """Model-rank the candidates, truly measure the top few.
+
+        Returns the verified candidates in ranking order (model score
+        descending; candidate order in the model-free exhaustive path,
+        where every candidate is measured).  Candidates whose measurement
+        raises are skipped — a tuner must be able to survive a single
+        broken configuration — and if *nothing* survives verification,
+        :class:`NoVerifiedCandidateError` is raised rather than ever
+        falling back to a model-only winner.
+        """
+        if not candidates:
+            raise ValueError("no candidates to tune over")
+        if self.model is None:
+            order = np.arange(len(candidates))
+            predictions = None
+        else:
+            probe = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
+            for r, c, cache in candidates:
+                probe.add(
+                    ProfileRecord(
+                        self.space.matrix.name,
+                        self.space.software_vector(r, c),
+                        cache.as_vector(),
+                        0.0,
+                    )
+                )
+            predictions = self.model.predict(probe)
+            order = np.argsort(predictions)[::-1][: self.verify_top]
+        verified: List[VerifiedCandidate] = []
+        for i in order:
+            r, c, cache = candidates[int(i)]
+            try:
+                true = float(self.space.evaluate(r, c, cache).mflops)
+            except Exception:
+                continue
+            predicted = true if predictions is None else float(predictions[int(i)])
+            verified.append(VerifiedCandidate(r, c, cache, predicted, true))
+        if not verified:
+            raise NoVerifiedCandidateError(
+                f"all {len(order)} verification measurements failed"
+            )
+        return verified
+
+    def choose_verified(
+        self, candidates: List[Tuple[int, int, CacheConfig]]
+    ) -> VerifiedCandidate:
+        """The best truly-measured candidate.
+
+        Ties on true Mflop/s break toward the model's ranking (earliest
+        verified entry) when a model guides the search, and toward the
+        last candidate in the exhaustive path (the historical behaviour
+        of the max-scan, kept so memoized experiment digests are stable).
+        """
+        verified = self.rank_and_verify(candidates)
+        if self.model is None:
+            best = max(enumerate(verified), key=lambda t: (t[1].mflops, t[0]))[1]
+        else:
+            best = verified[0]
+            for entry in verified[1:]:
+                if entry.mflops > best.mflops:
+                    best = entry
+        return best
+
     def _choose(
         self, candidates: List[Tuple[int, int, CacheConfig]]
     ) -> Tuple[int, int, CacheConfig]:
         """Rank with the model (if any), then verify the top few for real."""
-        if self.model is None:
-            scored = [
-                (self.space.evaluate(r, c, cache).mflops, i)
-                for i, (r, c, cache) in enumerate(candidates)
-            ]
-            best = max(scored)[1]
-            return candidates[best]
-
-        probe = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
-        for r, c, cache in candidates:
-            probe.add(
-                ProfileRecord(
-                    self.space.matrix.name,
-                    self.space.software_vector(r, c),
-                    cache.as_vector(),
-                    0.0,
-                )
-            )
-        predictions = self.model.predict(probe)
-        top = np.argsort(predictions)[::-1][: self.verify_top]
-        best_true, best_idx = -np.inf, int(top[0])
-        for i in top:
-            r, c, cache = candidates[int(i)]
-            true = self.space.evaluate(r, c, cache).mflops
-            if true > best_true:
-                best_true, best_idx = true, int(i)
-        return candidates[best_idx]
+        best = self.choose_verified(candidates)
+        return best.r, best.c, best.cache
 
     def _result(self, strategy: str, r: int, c: int, cache: CacheConfig) -> TuningResult:
         outcome = self.space.evaluate(r, c, cache)

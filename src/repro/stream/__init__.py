@@ -3,8 +3,11 @@
 The paper's "dynamic spaces" made online (DESIGN.md §11): rank-k Gram
 accumulation for cheap coefficient refreshes, prequential drift
 detection with hysteresis to gate full GA re-specification, committee
-disagreement to pick which configurations to simulate next, and a
-drifting-sparsity SpMV workload to exercise all of it.
+disagreement to pick which configurations to simulate next, a
+drifting-sparsity SpMV workload to exercise all of it, and — closing the
+loop (DESIGN.md §12) — drift-triggered coordinated HW-SW re-tuning that
+acts on each freshly re-specified model with verified, switch-over-cost-
+aware (r, c, cache) migrations.
 """
 
 from repro.stream.accumulator import (
@@ -19,6 +22,12 @@ from repro.stream.respec import (
     StreamOutcome,
     records_from_rows,
 )
+from repro.stream.retune import (
+    OnlineRetuner,
+    RetuneDecision,
+    SwitchCost,
+    TuningState,
+)
 from repro.stream.sampler import ActiveSampler
 from repro.stream.source import DriftingSpMVSource, SpMVStreamSource
 
@@ -29,10 +38,14 @@ __all__ = [
     "DriftDetector",
     "DriftingSpMVSource",
     "GramAccumulator",
+    "OnlineRetuner",
+    "RetuneDecision",
     "SpMVStreamSource",
     "StreamOutcome",
     "StreamStateError",
     "StreamingRespecifier",
+    "SwitchCost",
+    "TuningState",
     "records_from_rows",
     "spec_digest",
 ]

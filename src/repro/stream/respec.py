@@ -119,6 +119,12 @@ class StreamingRespecifier:
 
         self.model: Optional[InferredModel] = None
         self.reference: Optional[InferredModel] = None  # last respec'd snapshot
+        #: Optional :class:`repro.stream.OnlineRetuner` (see its
+        #: ``attach``): notified after every re-specification and
+        #: coefficient refresh so the deployed (r, c, cache) can follow
+        #: the re-specified model.  Re-tune failures never propagate —
+        #: the retuner degrades to its last-good tuning internally.
+        self.retuner = None
         self.accumulator: Optional[GramAccumulator] = None
         self.detector: Optional[DriftDetector] = None
         self.sampler: Optional[ActiveSampler] = None
@@ -268,6 +274,8 @@ class StreamingRespecifier:
         self.accumulator.model = refreshed
         self.refreshes += 1
         obs.counter("stream.refreshes").inc()
+        if self.retuner is not None:
+            self.retuner.on_refresh(self)
         return True
 
     def respec(self, generations: int = 5) -> InferredModel:
@@ -283,6 +291,8 @@ class StreamingRespecifier:
             self.respecs += 1
             self._recalibrate = self._calibrated
             obs.counter("stream.respecs").inc()
+        if self.retuner is not None:
+            self.retuner.on_respec(self)
         return self.model
 
     # -- active sampling ---------------------------------------------------------------
@@ -316,7 +326,7 @@ class StreamingRespecifier:
     # -- introspection -----------------------------------------------------------------
 
     def stats_dict(self) -> dict:
-        return {
+        stats = {
             "batches_ingested": self.batches_ingested,
             "records_ingested": self.records_ingested,
             "refreshes": self.refreshes,
@@ -326,6 +336,9 @@ class StreamingRespecifier:
             "drift_tripped": bool(self.detector.tripped) if self.detector else False,
             "dataset_size": len(self.dataset),
         }
+        if self.retuner is not None:
+            stats["retune"] = self.retuner.stats_dict()
+        return stats
 
 
 def records_from_rows(

@@ -1,0 +1,457 @@
+"""Drift-triggered coordinated HW-SW re-tuning (DESIGN.md §12).
+
+PR 8's streaming loop detects drift and re-specifies the model; this
+module *acts* on the refreshed model.  :class:`OnlineRetuner` re-runs the
+coordinated :class:`~repro.spmv.tuning.TuningSearch` against the freshly
+re-specified model after every drift-triggered re-specification (and,
+optionally, every K coefficient refreshes), following the
+model-guided-search protocol: rank the full (r, c, cache) cross product
+with the model, then *verify the top candidates with true simulated
+measurements*.  An adopted tuning is therefore always a truly-measured
+candidate, never a model-only ranking winner.
+
+Switching is not free.  A new block size means re-blocking the matrix
+(a CSR scan plus writing the padded dense blocks); a new cache
+configuration means a drain-reprogram-rewarm cycle.  Both are priced in
+seconds on the study's 400 MHz machine model and amortized over an
+*expected tenure* — how long the new tuning is likely to survive before
+the next re-tune, estimated from the drift detector's observed trip
+rate (the mean observation count between recent re-tunes).  The tuner
+switches only when
+
+    (incumbent_time - candidate_time) * tenure_executions > switch_cost
+
+*and* the verified candidate clears a relative hysteresis margin over
+the re-measured incumbent, so near-ties between adjacent block sizes
+cannot make the tuner thrash.
+
+A failed re-tune (the ``stream.retune`` fault site, a broken candidate
+measurement, a degenerate model) never propagates: the incumbent
+tuning — last-good — stays in force and the failure is recorded in the
+decision history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import faults, obs
+from repro.core.model import InferredModel
+from repro.spmv.cache import CacheConfig
+from repro.spmv.machine import CLOCK_HZ, miss_penalty_cycles
+from repro.spmv.space import BLOCK_SIZES, SpMVSpace
+from repro.spmv.tuning import TuningSearch
+
+#: Re-blocking cost: one pass over the CSR entries (read + classify) ...
+REBLOCK_CYCLES_PER_NNZ = 6.0
+#: ... plus writing every stored value of the new blocking, fill included.
+REBLOCK_CYCLES_PER_STORED = 4.0
+#: Fixed cache drain + reprogram latency before the rewarm misses start.
+CACHE_RECONFIG_CYCLES = 100_000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningState:
+    """One adopted coordinated tuning and its true measured performance."""
+
+    r: int
+    c: int
+    cache: CacheConfig
+    mflops: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.r}x{self.c}/{self.cache.key}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchCost:
+    """Priced switch-over work, in seconds on the 400 MHz machine model."""
+
+    reblock_seconds: float    # CSR -> BCSR(r', c') conversion
+    reconfig_seconds: float   # cache drain + reprogram + rewarm
+
+    @property
+    def total_seconds(self) -> float:
+        return self.reblock_seconds + self.reconfig_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class RetuneDecision:
+    """What one re-tune concluded, and why."""
+
+    trigger: str                        # "respec" | "refresh" | "manual"
+    action: str                         # "switch" | "hold" | "error"
+    step: int                           # re-tune sequence number
+    incumbent: Optional[TuningState]    # re-measured on the current revision
+    candidate: Optional[TuningState]    # best verified candidate
+    verified: bool                      # candidate's mflops is a true measurement
+    predicted_mflops: float             # the model's score for the candidate
+    gain_seconds_per_execution: float   # incumbent time - candidate time
+    switch_cost: Optional[SwitchCost]
+    tenure_executions: float            # expected executions before next re-tune
+    net_gain_seconds: float             # gain * tenure - switch cost
+    reason: str
+
+    @property
+    def switched(self) -> bool:
+        return self.action == "switch"
+
+    def to_dict(self) -> dict:
+        return {
+            "trigger": self.trigger,
+            "action": self.action,
+            "step": self.step,
+            "incumbent": self.incumbent.key if self.incumbent else None,
+            "incumbent_mflops": self.incumbent.mflops if self.incumbent else None,
+            "candidate": self.candidate.key if self.candidate else None,
+            "candidate_mflops": self.candidate.mflops if self.candidate else None,
+            "verified": self.verified,
+            "predicted_mflops": self.predicted_mflops,
+            "gain_seconds_per_execution": self.gain_seconds_per_execution,
+            "switch_cost_seconds": (
+                self.switch_cost.total_seconds if self.switch_cost else None
+            ),
+            "tenure_executions": self.tenure_executions,
+            "net_gain_seconds": self.net_gain_seconds,
+            "reason": self.reason,
+        }
+
+
+class OnlineRetuner:
+    """Keeps the deployed (r, c, cache) current against a drifting space.
+
+    Parameters
+    ----------
+    space_provider:
+        Callable returning the *current revision* of the SpMV space (e.g.
+        ``lambda: source.space`` for a drifting stream source).  Called at
+        every re-tune so verification always measures the live matrix.
+    caches:
+        Candidate cache pool; crossed with ``block_sizes`` into the
+        coordinated candidate set.
+    verify_top:
+        How many model-ranked candidates to verify with true measurements.
+    min_gain_ratio:
+        Hysteresis margin: a candidate must beat the re-measured incumbent
+        by this relative factor before a switch is even considered, so
+        near-equal adjacent block sizes cannot thrash.
+    executions_per_observation:
+        Deployment duty cycle: how many kernel executions the workload
+        runs per profiled stream observation.  Converts the tenure
+        estimate from observations into executions.
+    default_tenure_observations:
+        Tenure prior used until the trip rate has produced at least one
+        inter-retune interval.
+    retune_every_refreshes:
+        Also re-tune after every K coefficient refreshes (0 disables; the
+        post-respec hook always fires regardless).
+    history:
+        Decision-history ring size.
+    """
+
+    def __init__(
+        self,
+        space_provider: Callable[[], SpMVSpace],
+        caches: Sequence[CacheConfig],
+        *,
+        block_sizes: Sequence[int] = BLOCK_SIZES,
+        verify_top: int = 5,
+        min_gain_ratio: float = 0.03,
+        executions_per_observation: float = 25.0,
+        default_tenure_observations: float = 512.0,
+        retune_every_refreshes: int = 0,
+        history: int = 64,
+    ):
+        if not caches:
+            raise ValueError("need at least one candidate cache")
+        if min_gain_ratio < 0.0:
+            raise ValueError("min_gain_ratio must be >= 0")
+        if executions_per_observation <= 0.0:
+            raise ValueError("executions_per_observation must be > 0")
+        if default_tenure_observations <= 0.0:
+            raise ValueError("default_tenure_observations must be > 0")
+        if retune_every_refreshes < 0:
+            raise ValueError("retune_every_refreshes must be >= 0")
+        self.space_provider = space_provider
+        self.caches = list(caches)
+        self.block_sizes = tuple(block_sizes)
+        self.verify_top = verify_top
+        self.min_gain_ratio = min_gain_ratio
+        self.executions_per_observation = executions_per_observation
+        self.default_tenure_observations = default_tenure_observations
+        self.retune_every_refreshes = retune_every_refreshes
+
+        self.current: Optional[TuningState] = None
+        self.decisions: deque = deque(maxlen=max(1, history))
+        self.retunes = 0
+        self.switches = 0
+        self.holds = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self._refreshes_since_retune = 0
+        self._observations_at_last_retune: Optional[int] = None
+        self._tenure_samples: deque = deque(maxlen=8)
+
+    # -- candidate set ----------------------------------------------------------------
+
+    def candidates(self) -> List[Tuple[int, int, CacheConfig]]:
+        return [
+            (r, c, cache)
+            for cache in self.caches
+            for r in self.block_sizes
+            for c in self.block_sizes
+        ]
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def bootstrap(self, model: Optional[InferredModel] = None) -> TuningState:
+        """Adopt the initial tuning (exhaustive true search when no model)."""
+        space = self.space_provider()
+        search = TuningSearch(space, model, verify_top=self.verify_top)
+        best = search.choose_verified(self.candidates())
+        self.current = TuningState(best.r, best.c, best.cache, best.mflops)
+        self._export_gauges()
+        return self.current
+
+    def attach(self, respecifier) -> "OnlineRetuner":
+        """Register with a :class:`~repro.stream.StreamingRespecifier`.
+
+        The respecifier invokes :meth:`on_respec` after every successful
+        re-specification and :meth:`on_refresh` after every coefficient
+        refresh.
+        """
+        respecifier.retuner = self
+        return self
+
+    # -- respecifier hooks ------------------------------------------------------------
+
+    def on_respec(self, respecifier) -> Optional[RetuneDecision]:
+        self._refreshes_since_retune = 0
+        return self._guarded_retune(respecifier, "respec")
+
+    def on_refresh(self, respecifier) -> Optional[RetuneDecision]:
+        if self.retune_every_refreshes <= 0:
+            return None
+        self._refreshes_since_retune += 1
+        if self._refreshes_since_retune < self.retune_every_refreshes:
+            return None
+        self._refreshes_since_retune = 0
+        return self._guarded_retune(respecifier, "refresh")
+
+    def _guarded_retune(self, respecifier, trigger: str) -> RetuneDecision:
+        """Re-tune, degrading to the last-good tuning on any failure."""
+        try:
+            return self.retune(
+                respecifier.model, trigger, observations=respecifier.records_ingested
+            )
+        except Exception as exc:
+            self.failures += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            obs.counter("retune.failures").inc()
+            decision = RetuneDecision(
+                trigger=trigger,
+                action="error",
+                step=self.retunes,
+                incumbent=self.current,
+                candidate=None,
+                verified=False,
+                predicted_mflops=0.0,
+                gain_seconds_per_execution=0.0,
+                switch_cost=None,
+                tenure_executions=0.0,
+                net_gain_seconds=0.0,
+                reason=self.last_error,
+            )
+            self.decisions.append(decision)
+            return decision
+
+    # -- the re-tune itself -----------------------------------------------------------
+
+    def retune(
+        self,
+        model: Optional[InferredModel],
+        trigger: str = "manual",
+        observations: Optional[int] = None,
+    ) -> RetuneDecision:
+        """Model-guided coordinated search + verified, cost-aware adoption."""
+        if self.current is None:
+            raise RuntimeError("bootstrap() before retuning")
+        faults.site("stream.retune")
+        with obs.span("stream.retune"):
+            tenure_executions = self._expected_tenure(observations)
+            space = self.space_provider()
+            search = TuningSearch(space, model, verify_top=self.verify_top)
+            best = search.choose_verified(self.candidates())
+            incumbent_now = space.evaluate(
+                self.current.r, self.current.c, self.current.cache
+            )
+            decision = self._decide(
+                space, best, incumbent_now, tenure_executions, trigger
+            )
+        self.retunes += 1
+        self.last_error = None
+        self.decisions.append(decision)
+        if decision.switched:
+            self.switches += 1
+            self.current = decision.candidate
+            obs.counter("retune.switches").inc()
+        else:
+            self.holds += 1
+            # The incumbent stays, but its measured performance is pinned
+            # to the current matrix revision.
+            self.current = decision.incumbent
+            obs.counter("retune.holds").inc()
+        self._export_gauges()
+        return decision
+
+    def _decide(
+        self,
+        space: SpMVSpace,
+        best,
+        incumbent_now,
+        tenure_executions: float,
+        trigger: str,
+    ) -> RetuneDecision:
+        candidate_result = space.evaluate(best.r, best.c, best.cache)  # memoized
+        candidate = TuningState(
+            best.r, best.c, best.cache, float(candidate_result.mflops)
+        )
+        incumbent = dataclasses.replace(
+            self.current, mflops=float(incumbent_now.mflops)
+        )
+        gain = float(incumbent_now.time_seconds - candidate_result.time_seconds)
+        cost = self.switch_cost(space, incumbent, candidate)
+        net = gain * tenure_executions - cost.total_seconds
+        fields = dict(
+            trigger=trigger,
+            step=self.retunes,
+            incumbent=incumbent,
+            candidate=candidate,
+            verified=True,
+            predicted_mflops=float(best.predicted),
+            gain_seconds_per_execution=gain,
+            switch_cost=cost,
+            tenure_executions=tenure_executions,
+            net_gain_seconds=net,
+        )
+        if candidate.key == incumbent.key:
+            return RetuneDecision(
+                action="hold",
+                reason="incumbent is still the verified best",
+                **fields,
+            )
+        if candidate.mflops < incumbent.mflops * (1.0 + self.min_gain_ratio):
+            return RetuneDecision(
+                action="hold",
+                reason=(
+                    f"hysteresis: {candidate.mflops / incumbent.mflops:.3f}x is "
+                    f"inside the {self.min_gain_ratio:.0%} margin"
+                ),
+                **fields,
+            )
+        if net <= 0.0:
+            return RetuneDecision(
+                action="hold",
+                reason=(
+                    f"switch-over cost {cost.total_seconds:.2e}s exceeds the "
+                    f"{gain * tenure_executions:.2e}s gain over the expected tenure"
+                ),
+                **fields,
+            )
+        return RetuneDecision(
+            action="switch",
+            reason=(
+                f"verified {candidate.mflops / incumbent.mflops:.2f}x gain nets "
+                f"{net:.2e}s over the expected tenure"
+            ),
+            **fields,
+        )
+
+    # -- switch-over cost -------------------------------------------------------------
+
+    @staticmethod
+    def switch_cost(
+        space: SpMVSpace, incumbent: TuningState, candidate: TuningState
+    ) -> SwitchCost:
+        """Price the migration from ``incumbent`` to ``candidate``.
+
+        Re-blocking only when the block size changes: a scan of the CSR
+        entries plus a write of every stored value of the new blocking
+        (fill zeros included — the BCSR conversion materializes them).
+        Cache reconfiguration only when the cache changes: a fixed
+        drain + reprogram latency plus rewarming every line of the new
+        data cache at the new line size's miss penalty.
+        """
+        reblock = 0.0
+        if (candidate.r, candidate.c) != (incumbent.r, incumbent.c):
+            stored = space.bcsr(candidate.r, candidate.c).stored_values
+            cycles = (
+                REBLOCK_CYCLES_PER_NNZ * space.matrix.nnz
+                + REBLOCK_CYCLES_PER_STORED * stored
+            )
+            reblock = cycles / CLOCK_HZ
+        reconfig = 0.0
+        if candidate.cache.key != incumbent.cache.key:
+            lines = candidate.cache.dsize_kb * 1024 / candidate.cache.line_bytes
+            rewarm = lines * miss_penalty_cycles(candidate.cache.line_bytes)
+            reconfig = (CACHE_RECONFIG_CYCLES + rewarm) / CLOCK_HZ
+        return SwitchCost(float(reblock), float(reconfig))
+
+    # -- tenure estimate --------------------------------------------------------------
+
+    def _expected_tenure(self, observations: Optional[int]) -> float:
+        """Expected executions before the next re-tune, from the trip rate.
+
+        The drift detector's trip rate manifests as the observation count
+        between consecutive re-tunes; its recent mean (a prior before any
+        interval exists) times the deployment duty cycle is the horizon a
+        switch-over cost must amortize over.
+        """
+        if observations is not None:
+            previous = self._observations_at_last_retune
+            if previous is not None and observations > previous:
+                self._tenure_samples.append(float(observations - previous))
+            self._observations_at_last_retune = observations
+        tenure_observations = (
+            float(np.mean(self._tenure_samples))
+            if self._tenure_samples
+            else float(self.default_tenure_observations)
+        )
+        return tenure_observations * self.executions_per_observation
+
+    # -- introspection ----------------------------------------------------------------
+
+    def _export_gauges(self) -> None:
+        if self.current is None:
+            return
+        obs.gauge("retune.block_rows").set(float(self.current.r))
+        obs.gauge("retune.block_cols").set(float(self.current.c))
+        obs.gauge("retune.cache_dsize_kb").set(float(self.current.cache.dsize_kb))
+        obs.gauge("retune.cache_line_bytes").set(float(self.current.cache.line_bytes))
+        obs.gauge("retune.current_mflops").set(float(self.current.mflops))
+
+    def stats_dict(self, history: int = 16) -> dict:
+        recent = list(self.decisions)[-max(0, history):]
+        return {
+            "retunes": self.retunes,
+            "switches": self.switches,
+            "holds": self.holds,
+            "failures": self.failures,
+            "last_error": self.last_error,
+            "current": (
+                {
+                    "r": self.current.r,
+                    "c": self.current.c,
+                    "cache": self.current.cache.key,
+                    "mflops": self.current.mflops,
+                }
+                if self.current is not None
+                else None
+            ),
+            "decisions": [d.to_dict() for d in recent],
+        }

@@ -152,13 +152,43 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Figure 3" in out
 
+    def test_failed_check_exits_nonzero(self, tmp_cache, capsys, monkeypatch):
+        # Satellite of the retune PR: a demo whose acceptance check fails
+        # (here: a drift detector that never trips) must not exit 0.
+        from repro.experiments import stream_demo
+        from repro.experiments.__main__ import main
+
+        def _regressed(scale):
+            scenario = {
+                "steps": 2,
+                "trips": 0,  # never tripped: the check must fail
+                "refreshes": 2,
+                "actions": ["refresh", "refresh"],
+                "drift_scores": [1.0, 1.0],
+                "batch_errors": [0.1, 0.1],
+                "max_score": 1.0,
+                "active_disagreement_gain": 1.0,
+                "stats": {},
+            }
+            return {
+                "scale": scale.name,
+                "drifting": dict(scenario),
+                "stationary": dict(scenario),
+            }
+
+        monkeypatch.setattr(stream_demo, "run", _regressed)
+        assert main(["stream", "--scale", "small", "--report-dir", "-"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED check" in captured.err
+        assert "never tripped" in captured.err
+
     def test_experiment_registry_complete(self):
         from repro.experiments.__main__ import EXPERIMENTS
 
         # Every paper artifact with data has a CLI entry (13 paper
         # artifacts + the ablation suite, the memory extension, the
-        # serving demo, and the streaming demo).
-        assert len(EXPERIMENTS) == 17
+        # serving demo, and the streaming + retuning demos).
+        assert len(EXPERIMENTS) == 18
 
 
 class TestExamplesCompile:

@@ -7,7 +7,9 @@ ingest fault on the serving path degrades to a 500 with ``last_error``
 recorded; the server keeps serving and the next batch succeeds.
 ``stream.respec`` — a failed background re-specification keeps the
 last-good model in the slot and the registry; the drift latch re-triggers
-and the retry completes.
+and the retry completes.  ``stream.retune`` — a killed or failed
+post-respec re-tune keeps the last-good (r, c, cache) tuning deployed
+while the re-specification itself still lands.
 
 Runs in the CI chaos matrix alongside ``test_serve_chaos.py`` with
 ``REPRO_CHAOS_SEED`` selecting the plan seed.
@@ -237,3 +239,136 @@ class TestRespecFaults:
             assert registry.latest_version(serving.key) == v_before + 1
 
         asyncio.run(scenario())
+
+
+# -- stream.retune: killed/failed re-tune keeps the last-good tuning -------------------
+
+
+def _retune_fixture(seed=2):
+    """A tiny SpMV respecifier with an attached retuner (no serving tier)."""
+    from repro.core.dataset import ProfileDataset
+    from repro.core.genetic import GeneticSearch
+    from repro.spmv import fem_matrix, scattered_matrix
+    from repro.spmv.cache import SPMV_HARDWARE_NAMES
+    from repro.spmv.space import SPMV_SOFTWARE_NAMES
+    from repro.stream import OnlineRetuner, SpMVStreamSource, StreamingRespecifier
+
+    source = SpMVStreamSource(
+        fem_matrix(16, 3, 3, 6, 13, "chaos-retune"),
+        seed=5,
+        block_sizes=(1, 2, 3),
+        n_caches=4,
+    )
+    dataset = ProfileDataset(SPMV_SOFTWARE_NAMES, SPMV_HARDWARE_NAMES)
+    rng = np.random.default_rng(7)
+    aux = SpMVStreamSource(
+        scattered_matrix(40, 130, 12, "chaos-aux"),
+        seed=3,
+        block_sizes=(1, 2, 3),
+        n_caches=4,
+    )
+    dataset.extend(aux.sample(24, rng).records)
+    dataset.extend(source.sample(24, rng).records)
+    respec = StreamingRespecifier(
+        dataset, GeneticSearch(population_size=8, seed=seed), TRIGGER_HAPPY
+    )
+    respec.bootstrap(generations=1)
+    retuner = OnlineRetuner(
+        lambda: source.space, source.caches, block_sizes=source.block_sizes
+    ).attach(respec)
+    retuner.bootstrap()
+    return source, respec, retuner
+
+
+class TestRetuneFaults:
+    def test_failed_retune_keeps_last_good_tuning_and_respec_lands(self):
+        """The re-specification must survive its own retune hook failing:
+        the new model is adopted, the deployed tuning stays last-good,
+        and the next re-tune clears the sticky error."""
+        source, respec, retuner = _retune_fixture()
+        initial = retuner.current.key
+        plan = FaultPlan.parse("stream.retune=raise@1", seed=CHAOS_SEED)
+        with faults.armed(plan):
+            respec.respec(generations=1)
+        assert plan.injected_counts() == [1]
+
+        # The respec itself landed; the retune failure was absorbed.
+        assert respec.respecs == 1
+        assert retuner.failures == 1
+        assert retuner.retunes == 0
+        assert retuner.last_error.startswith("InjectedFault")
+        assert retuner.decisions[-1].action == "error"
+        assert retuner.current.key == initial  # last-good tuning deployed
+
+        # Fault exhausted: the next re-specification re-tunes cleanly.
+        respec.respec(generations=1)
+        assert respec.respecs == 2
+        assert retuner.retunes == 1
+        assert retuner.last_error is None
+        assert retuner.decisions[-1].action in ("hold", "switch")
+
+    def test_retune_failure_surfaces_in_serving_stats(self):
+        """Through the stats nesting: a manager polling stats_dict sees
+        the failure count and the untouched current tuning."""
+        source, respec, retuner = _retune_fixture()
+        initial = retuner.current.key
+        plan = FaultPlan.parse("stream.retune=raise@1", seed=CHAOS_SEED)
+        with faults.armed(plan):
+            respec.respec(generations=1)
+        stats = respec.stats_dict()["retune"]
+        assert stats["failures"] == 1
+        assert stats["last_error"].startswith("InjectedFault")
+        assert (
+            f"{stats['current']['r']}x{stats['current']['c']}"
+            f"/{stats['current']['cache']}" == initial
+        )
+
+    KILL_CODE = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.spmv import fem_matrix
+        from repro.stream import OnlineRetuner, SpMVStreamSource
+
+        source = SpMVStreamSource(
+            fem_matrix(16, 3, 3, 6, 13, "chaos-retune"),
+            seed=5, block_sizes=(1, 2, 3), n_caches=4,
+        )
+        retuner = OnlineRetuner(
+            lambda: source.space, source.caches, block_sizes=source.block_sizes
+        )
+        state = retuner.bootstrap()
+        print(f"deployed {state.key}", flush=True)
+        decision = retuner.retune(None, "respec")   # the armed kill lands here
+        print(f"retuned {decision.action} {retuner.current.key}", flush=True)
+        """
+    )
+
+    def _run_kill_scenario(self, fault_spec):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        if fault_spec:
+            env["REPRO_FAULTS"] = f"{CHAOS_SEED}:{fault_spec}"
+        else:
+            env.pop("REPRO_FAULTS", None)
+        return subprocess.run(
+            [sys.executable, "-c", self.KILL_CODE],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_killed_retune_dies_after_deploying_last_good(self):
+        """A kill inside the re-tune takes the process down with the
+        distinctive exit code *after* the bootstrap tuning was deployed —
+        a supervisor respawn comes back on the last-good tuning."""
+        from repro.faults.plan import KILL_EXIT_CODE
+
+        proc = self._run_kill_scenario("stream.retune=kill@1")
+        assert proc.returncode == KILL_EXIT_CODE
+        assert "deployed " in proc.stdout     # last-good was in force
+        assert "retuned" not in proc.stdout   # the re-tune never concluded
+
+    def test_same_scenario_completes_without_fault(self):
+        proc = self._run_kill_scenario(None)
+        assert proc.returncode == 0
+        assert "deployed " in proc.stdout
+        assert "retuned" in proc.stdout
