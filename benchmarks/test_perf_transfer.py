@@ -1,0 +1,135 @@
+"""Benchmark: cross-backend transfer — warm-started vs cold GA search.
+
+The transfer mechanism (DESIGN.md §13) is only worth shipping if
+warm-starting backend B's genetic search from a specification population
+evolved on backend A reliably reaches the cold arm's final fitness in
+fewer generations.  This benchmark runs the same paired-trial study as
+``python -m repro.experiments transfer`` — CPU-searched source
+population seeding a GPU-backend search — and gates the aggregate
+generations-to-target ratio.
+
+Writes ``BENCH_transfer.json`` at the repository root (gated against the
+committed baseline by ``scripts/check_bench.py``: ``speedup`` — total
+cold generations over total warm generations across the paired trials —
+is floor-gated; the raw millisecond timings, generation counts, and
+shared-representation scores are informational) and dumps the obs
+registry to ``reports/metrics_transfer.jsonl``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_transfer.py -q
+
+``REPRO_BENCH_SMOKE=1`` drops to the small experiment scale for CI.
+Both arms are fully seeded, so a given scale reproduces bit-identical
+generation counts — the gate is deterministic, only the timings vary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.transfer import transfer_search
+from repro.experiments.common import (
+    SCALES,
+    build_general_dataset,
+    run_genetic_search,
+)
+from repro.experiments.transfer_demo import TRANSFER_SIZES
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_transfer.json"
+
+SCALE = SCALES["small" if SMOKE else "bench"]
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    yield
+    if not RESULTS:
+        return
+    payload = {
+        "smoke": SMOKE,
+        "scale": SCALE.name,
+        **RESULTS,
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report_dir = obs.default_report_dir()
+    if report_dir is not None and obs.enabled():
+        obs.export_jsonl(report_dir / "metrics_transfer.jsonl", run="transfer")
+
+
+class TestTransferPerf:
+    def test_warm_start_beats_cold(self):
+        sizes = TRANSFER_SIZES[SCALE.name]
+
+        start = time.perf_counter()
+        train_cpu, _ = build_general_dataset(SCALE, backend="cpu")
+        source = run_genetic_search(train_cpu, SCALE, tag="main")
+        source_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        train_gpu, val_gpu = build_general_dataset(SCALE, backend="gpu")
+        target_data_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        outcome = transfer_search(
+            source,
+            train_gpu,
+            val_gpu,
+            source_backend="cpu",
+            target_backend="gpu",
+            population_size=sizes["population"],
+            generations=sizes["generations"],
+            seed=sizes["seed"],
+            pairs=sizes["pairs"],
+        )
+        transfer_ms = (time.perf_counter() - start) * 1e3
+
+        wins = sum(
+            t.warm_generations < t.cold_generations for t in outcome.trials
+        )
+        RESULTS["transfer"] = {
+            "speedup": round(outcome.speedup, 2),
+            "cold_generations_total": outcome.cold_generations,
+            "warm_generations_total": outcome.warm_generations,
+            "generations_saved": outcome.generations_saved,
+            "pairs": len(outcome.trials),
+            "trials_won": wins,
+            "shared_spec_correlation": round(
+                outcome.shared_spec_score["correlation"], 3
+            ),
+            "shared_spec_median_error": round(
+                outcome.shared_spec_score["median_error"], 4
+            ),
+            "source_search_ms": round(source_ms, 1),
+            "target_dataset_ms": round(target_data_ms, 1),
+            "transfer_study_ms": round(transfer_ms, 1),
+        }
+
+        # The study's headline claim, at every scale: warm-starting from
+        # the CPU-searched population reaches the cold arm's final best
+        # in fewer total generations, winning the majority of trials.
+        assert outcome.warm_generations < outcome.cold_generations, (
+            f"warm start needed {outcome.warm_generations} total "
+            f"generations vs cold {outcome.cold_generations}"
+        )
+        assert wins * 2 > len(outcome.trials), (
+            f"warm start won only {wins}/{len(outcome.trials)} paired trials"
+        )
+        if not SMOKE:
+            assert outcome.speedup >= 1.5, (
+                f"cross-backend warm start must be >= 1.5x fewer "
+                f"generations-to-target, measured {outcome.speedup:.2f}x"
+            )
+            assert outcome.shared_spec_score["correlation"] >= 0.5, (
+                "shared-representation refit lost rank correlation on the "
+                f"GPU backend: {outcome.shared_spec_score['correlation']:.3f}"
+            )

@@ -50,6 +50,14 @@ from repro.core.chromosome import Chromosome, chromosome_from_spec
 from repro.core.fitness import FitnessResult, derive_app_splits, evaluate_spec
 from repro.core.engine import ColumnStore, FitnessEngine
 from repro.core.genetic import GeneticSearch, SearchResult, GenerationRecord
+from repro.core.transfer import (
+    TransferOutcome,
+    TransferTrial,
+    generations_to_target,
+    shared_representation_score,
+    transfer_search,
+    warm_start_population,
+)
 from repro.core.updater import ModelManager, ObservationOutcome
 from repro.core.stepwise import stepwise_search
 from repro.core.manual import manual_general_spec
@@ -111,6 +119,12 @@ __all__ = [
     "GeneticSearch",
     "SearchResult",
     "GenerationRecord",
+    "TransferOutcome",
+    "TransferTrial",
+    "generations_to_target",
+    "shared_representation_score",
+    "transfer_search",
+    "warm_start_population",
     "ModelManager",
     "ObservationOutcome",
     "stepwise_search",

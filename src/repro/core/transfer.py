@@ -1,0 +1,202 @@
+"""Cross-backend model transfer: warm-started search + shared specs.
+
+The repo now carries two timing backends over the same trace substrate
+(the OoO CPU interval model and the GPU warp-throughput model), which
+poses the cross-machine question of Stevens & Klöckner (arXiv:1904.09538)
+and Li et al.'s generalizable-representation direction: how much of a
+model *specification* searched against machine A carries over to
+machine B?
+
+Two transfer mechanisms, both built from existing primitives:
+
+1. **Warm-started search** — seed backend B's genetic search with the
+   final population evolved on backend A
+   (:meth:`~repro.core.genetic.GeneticSearch.run`'s
+   ``initial_population`` hook) and measure *generations-to-target*: how
+   many generations each arm needs to reach the cold arm's final best
+   fitness.  If specifications transfer, the warm arm starts near the
+   target and wins.
+2. **Shared-representation prediction** — refit the *specification*
+   (variables, transforms, interactions) searched on backend A against
+   backend B's data.  The coefficients are machine-specific; the
+   representation is shared.  Its validation score against a natively
+   searched spec measures how machine-portable the representation is.
+
+Both datasets must share variable names (the GPU space deliberately
+reuses ``y1..y13``), which :func:`transfer_search` validates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.core.chromosome import Chromosome
+from repro.core.dataset import ProfileDataset
+from repro.core.genetic import GenerationRecord, GeneticSearch, SearchResult
+from repro.core.model import InferredModel
+
+
+def warm_start_population(
+    source: SearchResult, n: Optional[int] = None
+) -> List[Chromosome]:
+    """The seeding population for a warm-started search on another backend.
+
+    Best-first, so that even when the target search's population is
+    smaller than the source's, the fittest source specifications survive
+    the truncation in :meth:`GeneticSearch.run`.
+    """
+    ranked = [chromosome for chromosome, _ in source.ranked()]
+    return ranked[: n if n is not None else len(ranked)]
+
+
+def generations_to_target(
+    history: List[GenerationRecord], target: float
+) -> int:
+    """First generation whose best fitness reached ``target`` (lower is
+    better).  ``len(history) + 1`` when the target was never reached."""
+    for record in history:
+        if record.best_fitness <= target * (1.0 + 1e-12):
+            return record.generation
+    return len(history) + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferTrial:
+    """One paired cold-vs-warm search at a single RNG seed."""
+
+    seed: int
+    target_fitness: float        # this trial's cold arm's final best
+    cold_generations: int
+    warm_generations: int
+    cold_final: float
+    warm_final: float
+
+
+@dataclasses.dataclass
+class TransferOutcome:
+    """Result of one cross-backend transfer study.
+
+    ``cold_generations`` / ``warm_generations`` are *totals* over the
+    paired trials, which is what the demo check and the benchmark gate
+    compare — aggregating over seeds keeps the gate out of single-seed
+    lottery territory.
+    """
+
+    source_backend: str
+    target_backend: str
+    target_fitness: float        # first trial's target, for display
+    cold: SearchResult           # first trial's arms, for spec scoring
+    warm: SearchResult
+    cold_generations: int
+    warm_generations: int
+    shared_spec_score: Dict[str, float]   # source spec refit on target data
+    native_spec_score: Dict[str, float]   # target-searched spec, same data
+    trials: List[TransferTrial] = dataclasses.field(default_factory=list)
+
+    @property
+    def generations_saved(self) -> int:
+        return self.cold_generations - self.warm_generations
+
+    @property
+    def speedup(self) -> float:
+        """Generations-to-target ratio, cold over warm (higher is better)."""
+        return self.cold_generations / max(1, self.warm_generations)
+
+
+def shared_representation_score(
+    source: SearchResult,
+    target_train: ProfileDataset,
+    target_val: ProfileDataset,
+) -> Dict[str, float]:
+    """Refit the source-searched specification on the target backend.
+
+    Returns the refit model's validation ``{"median_error",
+    "correlation"}`` on the target backend — coefficients are relearned,
+    the representation (variables, transforms, interactions) is
+    transferred verbatim.
+    """
+    spec = source.best_chromosome.to_spec(target_train.variable_names)
+    model = InferredModel.fit(spec, target_train)
+    return model.score(target_val)
+
+
+def transfer_search(
+    source: SearchResult,
+    target_train: ProfileDataset,
+    target_val: ProfileDataset,
+    *,
+    source_backend: str = "cpu",
+    target_backend: str = "gpu",
+    population_size: int = 20,
+    generations: int = 8,
+    seed: int = 7,
+    pairs: int = 3,
+) -> TransferOutcome:
+    """Run the cold-vs-warm transfer comparison on the target backend.
+
+    ``pairs`` paired trials run at seeds ``seed .. seed + pairs - 1``.
+    Within a pair both arms use identical search hyperparameters and RNG
+    seed; the only difference is the warm arm's initial population
+    (:func:`warm_start_population` of the source search).  Each trial's
+    target fitness is its cold arm's final best, so the cold arm reaches
+    it by construction and the comparison is purely *when* each arm gets
+    there; the outcome totals generations-to-target over all trials.
+    """
+    if source.best_chromosome.n_variables != len(target_train.variable_names):
+        raise ValueError(
+            f"source chromosomes encode "
+            f"{source.best_chromosome.n_variables} variables but the target "
+            f"dataset has {len(target_train.variable_names)}; transfer "
+            f"requires shape-compatible spaces"
+        )
+    if pairs < 1:
+        raise ValueError("transfer needs at least one paired trial")
+    seeding = warm_start_population(source, population_size)
+    trials: List[TransferTrial] = []
+    first_cold = first_warm = None
+    with obs.span("transfer.search"):
+        for trial_seed in range(seed, seed + pairs):
+            cold = GeneticSearch(
+                population_size=population_size, seed=trial_seed
+            ).run(target_train, generations)
+            warm = GeneticSearch(
+                population_size=population_size, seed=trial_seed
+            ).run(target_train, generations, initial_population=seeding)
+            target = cold.best_fitness.fitness
+            trials.append(
+                TransferTrial(
+                    seed=trial_seed,
+                    target_fitness=target,
+                    cold_generations=generations_to_target(
+                        cold.history, target
+                    ),
+                    warm_generations=generations_to_target(
+                        warm.history, target
+                    ),
+                    cold_final=cold.best_fitness.fitness,
+                    warm_final=warm.best_fitness.fitness,
+                )
+            )
+            if first_cold is None:
+                first_cold, first_warm = cold, warm
+    outcome = TransferOutcome(
+        source_backend=source_backend,
+        target_backend=target_backend,
+        target_fitness=trials[0].target_fitness,
+        cold=first_cold,
+        warm=first_warm,
+        cold_generations=sum(t.cold_generations for t in trials),
+        warm_generations=sum(t.warm_generations for t in trials),
+        shared_spec_score=shared_representation_score(
+            source, target_train, target_val
+        ),
+        native_spec_score=first_cold.best_model(target_train).score(
+            target_val
+        ),
+        trials=trials,
+    )
+    obs.gauge("transfer.generations_saved").set(outcome.generations_saved)
+    obs.counter("transfer.searches").inc()
+    return outcome

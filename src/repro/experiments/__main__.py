@@ -45,6 +45,7 @@ EXPERIMENTS = {
     "ablations": ("ablations", "Ablations — sharding, stabilization, response scale, synthetic coverage"),
     "ext-memory": ("ext_memory", "Extension — memory-behavior characteristics x14..x17"),
     "val-timing": ("val_timing", "Validation — interval model vs cycle-level simulation"),
+    "transfer": ("transfer_demo", "Transfer — cross-backend warm-started search + shared representation"),
 }
 
 
@@ -88,6 +89,33 @@ def run_experiment(key: str, scale, svg_dir=None) -> str:
             if written:
                 report += "\n  [svg] " + ", ".join(str(p) for p in written)
     return report
+
+
+def _backend_names():
+    """Registered timing-backend names (lazy: avoids import at CLI parse)."""
+    from repro.uarch.backends import BACKEND_NAMES
+
+    return BACKEND_NAMES
+
+
+def _check_bootstrap(serving, backend: str) -> None:
+    """Acceptance check for the serve bootstrap (AssertionError on miss).
+
+    A service that trained a useless model or lost its backend tag must
+    not come up quietly and answer traffic — the runner turns this into
+    a ``FAILED check`` exit before the listener starts.
+    """
+    error = serving.manager.steady_state_error
+    assert error <= 0.25, (
+        f"bootstrap model unusable: steady-state median error {error:.1%} "
+        "exceeds 25% on the demo dataset"
+    )
+    assert serving.slot.version >= 1, "no model version published to the slot"
+    stats = serving.stats_dict()
+    assert stats["backend"] == backend, (
+        f"backend tag lost in bootstrap: stats say {stats['backend']!r}, "
+        f"expected {backend!r}"
+    )
 
 
 def serve_main(argv) -> int:
@@ -159,6 +187,13 @@ def serve_main(argv) -> int:
         "re-specifications always publish immediately)",
     )
     parser.add_argument(
+        "--backend",
+        choices=_backend_names(),
+        default="cpu",
+        help="timing backend tag for the served model: stamped into "
+        "registry metadata, stats payloads, and prometheus labels",
+    )
+    parser.add_argument(
         "--metrics-dump",
         action="store_true",
         help="instead of starting a server, fetch the metrics of the one "
@@ -196,7 +231,14 @@ def serve_main(argv) -> int:
             max_batch=args.max_batch,
             max_latency_s=args.max_latency_ms / 1000.0,
         ),
+        backend=args.backend,
     )
+    try:
+        _check_bootstrap(serving, args.backend)
+    except AssertionError as failure:
+        print(f"FAILED check: {failure}", file=sys.stderr)
+        serving.close()
+        return 1
     if args.stream:
         from repro.serve.bootstrap import attach_streaming
 
@@ -260,7 +302,14 @@ def _serve_sharded(args) -> int:
             max_batch=args.max_batch,
             max_latency_s=args.max_latency_ms / 1000.0,
         ),
+        backend=args.backend,
     )
+    try:
+        _check_bootstrap(supervisor.serving, args.backend)
+    except AssertionError as failure:
+        print(f"FAILED check: {failure}", file=sys.stderr)
+        supervisor.serving.close()
+        return 1
 
     stop = threading.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):

@@ -34,7 +34,7 @@ from repro.parallel import parallel_map
 from repro.profiling import SOFTWARE_VARIABLE_NAMES
 from repro.profiling.shards import ShardProfile
 from repro.store.artifacts import dump_artifact, load_artifact
-from repro.uarch import HARDWARE_VARIABLE_NAMES, PipelineConfig, Simulator, sample_configs
+from repro.uarch import HARDWARE_VARIABLE_NAMES, PipelineConfig, get_backend
 from repro.workloads import generate_trace, spec2006_suite
 
 SHARD_LENGTH = 10_000
@@ -141,12 +141,17 @@ class GeneralStudy:
 
     The :class:`Simulator`'s per-shard statistics are the expensive part;
     they are built once per (application, shards, seed) and pickled.
+
+    ``backend`` selects the timing model (``"cpu"`` or ``"gpu"``) from
+    :mod:`repro.uarch.backends`; traces, shard statistics, and Table 1
+    profiles are backend-independent and shared.
     """
 
-    def __init__(self, scale: Scale, seed: int = 2012):
+    def __init__(self, scale: Scale, seed: int = 2012, backend: str = "cpu"):
         self.scale = scale
         self.seed = seed
-        self.simulator = Simulator()
+        self.backend = get_backend(backend)
+        self.simulator = self.backend.make_simulator()
         self._shards: Dict[str, list] = {}
         self._profiles: Dict[str, List[ShardProfile]] = {}
 
@@ -256,6 +261,7 @@ def _build_app_records(
     application: str,
     configs: Sequence[PipelineConfig],
     shard_indices: Sequence[int],
+    backend: str = "cpu",
 ) -> List[ProfileRecord]:
     """Profile one application on pre-drawn (config, shard) pairs.
 
@@ -263,9 +269,7 @@ def _build_app_records(
     worker process: the trace generation and simulator statistics it
     rebuilds are deterministic functions of (scale, seed, application).
     """
-    from repro.uarch.pipeline import simulate_cpi_batch
-
-    study = GeneralStudy(scale, seed)
+    study = GeneralStudy(scale, seed, backend=backend)
     with obs.span("dataset.build_app"):
         shards = study.shards(application)
         profiles = study.profiles(application)
@@ -282,7 +286,9 @@ def _build_app_records(
         z = np.empty(len(configs))
         for shard_index, stats in zip(sorted(by_shard), stats_list):
             positions = by_shard[shard_index]
-            cpis = simulate_cpi_batch(stats, [configs[j] for j in positions])
+            cpis = study.simulator.cpi_batch_from_stats(
+                stats, [configs[j] for j in positions]
+            )
             z[positions] = cpis
         records = [
             ProfileRecord(
@@ -302,6 +308,7 @@ def build_general_dataset(
     scale: Scale,
     seed: int = 2012,
     applications: Optional[Sequence[str]] = None,
+    backend: str = "cpu",
 ) -> Tuple[ProfileDataset, ProfileDataset]:
     """(training, validation) datasets for the general study.
 
@@ -315,25 +322,30 @@ def build_general_dataset(
     — profiling and simulating each application's shards — then fans out
     one job per application via :mod:`repro.parallel`, so the datasets are
     identical at any ``REPRO_WORKERS`` setting.
+
+    ``backend`` selects the timing model the records' CPIs come from and
+    the design space the architectures are drawn over; software profiles
+    and shard statistics are shared across backends.
     """
     apps = tuple(applications or spec2006_suite())
+    chosen = get_backend(backend)
 
     def build():
         rng = np.random.default_rng(seed)
-        jobs: List[Tuple[Scale, int, str, List[PipelineConfig], List[int]]] = []
+        jobs: List[Tuple] = []
         for app in apps:
-            configs = sample_configs(scale.configs_per_app, rng)
+            configs = chosen.sample_configs(scale.configs_per_app, rng)
             shard_indices = [
                 int(rng.integers(0, scale.shards_per_app)) for _ in configs
             ]
-            jobs.append((scale, seed, app, configs, shard_indices))
+            jobs.append((scale, seed, app, configs, shard_indices, backend))
         per_app_val = max(1, scale.validation_pairs // len(apps))
         for app in apps:
-            configs = sample_configs(per_app_val, rng)
+            configs = chosen.sample_configs(per_app_val, rng)
             shard_indices = [
                 int(rng.integers(0, scale.shards_per_app)) for _ in configs
             ]
-            jobs.append((scale, seed, app, configs, shard_indices))
+            jobs.append((scale, seed, app, configs, shard_indices, backend))
 
         record_lists = parallel_map(
             _build_app_records_job, jobs, collect_metrics=True
@@ -347,7 +359,11 @@ def build_general_dataset(
                 dataset.add(record)
         return train, val
 
+    # The CPU key is unchanged from earlier revisions so existing caches
+    # stay warm; other backends get their own keyspace.
     key = f"general-dataset-v12|{scale.name}|{seed}|{','.join(apps)}"
+    if backend != "cpu":
+        key += f"|backend={backend}"
     return cached(key, build)
 
 
@@ -362,8 +378,15 @@ def run_genetic_search(
     seed: int = 7,
     generations: Optional[int] = None,
     tag: str = "main",
+    initial_population: Optional[list] = None,
 ):
-    """Run (or recall) the genetic search on a dataset."""
+    """Run (or recall) the genetic search on a dataset.
+
+    ``initial_population`` (a list of :class:`~repro.core.Chromosome`)
+    warm-starts the search — the hook the cross-backend transfer study
+    uses to seed backend B's search with backend A's population.  Cache
+    keys of warm-started runs carry a digest of the seeding chromosomes.
+    """
     from repro.core import GeneticSearch
 
     gens = generations if generations is not None else scale.generations
@@ -373,16 +396,26 @@ def run_genetic_search(
 
         search = GeneticSearch(population_size=scale.population, seed=seed)
         initial = None
-        try:
-            initial = [
-                chromosome_from_spec(manual_general_spec(), dataset.variable_names)
-            ]
-        except ValueError:
-            pass  # non-general variable set: start fully random
+        if initial_population is not None:
+            initial = list(initial_population)
+        else:
+            try:
+                initial = [
+                    chromosome_from_spec(manual_general_spec(), dataset.variable_names)
+                ]
+            except ValueError:
+                pass  # non-general variable set: start fully random
         return search.run(dataset, gens, initial_population=initial)
 
     key = (
         f"ga-v13|{scale.name}|{seed}|{gens}|{len(dataset)}|{tag}|"
         f"{hashlib.sha256(dataset.targets().tobytes()).hexdigest()[:16]}"
     )
+    if initial_population is not None:
+        warm_digest = hashlib.sha256(
+            repr(
+                [(c.genes, sorted(c.interactions)) for c in initial_population]
+            ).encode()
+        ).hexdigest()[:16]
+        key += f"|warm={warm_digest}"
     return cached(key, build)

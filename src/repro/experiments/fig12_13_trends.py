@@ -191,6 +191,39 @@ def run(scale: Optional[Scale] = None, seed: int = 2012) -> TrendResult:
     return cached(f"fig1213-v12|{scale.name}|{seed}|{n_caches}", build)
 
 
+def check(result: TrendResult) -> None:
+    """Fail loudly when the paper's trend shapes are not reproduced.
+
+    The thresholds are structural, not point estimates: the line-size
+    trend must rise monotonically (streaming bandwidth), fill ratios
+    past 2x must cost performance, and associativity must stay
+    flat-to-adverse (the LRU-stack effect) — the three observations the
+    figure exists to show.
+    """
+    line_sizes = sorted(result.by_line)
+    trend = [result.by_line[s] for s in line_sizes]
+    if any(b <= a for a, b in zip(trend, trend[1:])):
+        raise AssertionError(
+            "line-size trend is not monotonically increasing: "
+            + ", ".join(f"{s}B={v:.1f}" for s, v in zip(line_sizes, trend))
+        )
+
+    bins = [v for v in result.by_fill_bin.values() if np.isfinite(v)]
+    if len(bins) >= 2 and bins[0] <= bins[-1]:
+        raise AssertionError(
+            f"fill-ratio penalty missing: tightest bin {bins[0]:.1f} "
+            f"Mflop/s <= loosest bin {bins[-1]:.1f}"
+        )
+
+    ways = [result.by_dways[w] for w in sorted(result.by_dways)]
+    spread = max(ways) / min(ways)
+    if spread > 1.25:
+        raise AssertionError(
+            f"associativity trend not flat-to-adverse: {spread:.2f}x spread "
+            f"across ways (paper: high associativity is not helpful)"
+        )
+
+
 def report(result: TrendResult) -> str:
     def table(title, mapping, fmt="{:>8}"):
         lines = [f"  {title}"]

@@ -88,6 +88,40 @@ def run(scale: Optional[Scale] = None, seed: int = 2012) -> Fig14Result:
     return cached(f"fig14-v12|{scale.name}|{seed}", build)
 
 
+def check(result: Fig14Result) -> None:
+    """Fail loudly when model accuracy regresses past the paper's band.
+
+    The paper reports 4-6% median errors; the gates leave headroom for
+    the reduced sample counts of the small/bench scales but still catch
+    a broken fit (median-of-medians drifting past ~2x the paper, or any
+    matrix losing rank correlation with the simulated space).
+    """
+    if result.median_of_medians_perf > 0.10:
+        raise AssertionError(
+            "performance median-of-medians "
+            f"{result.median_of_medians_perf:.1%} exceeds 10% "
+            "(paper: 4-6%)"
+        )
+    if result.median_of_medians_power > 0.12:
+        raise AssertionError(
+            "power median-of-medians "
+            f"{result.median_of_medians_power:.1%} exceeds 12% "
+            "(paper: 4-6%)"
+        )
+    for name, acc in result.per_matrix.items():
+        if acc.performance.median > 0.20:
+            raise AssertionError(
+                f"{name}: performance median error "
+                f"{acc.performance.median:.1%} exceeds 20%"
+            )
+        if min(acc.performance_rho, acc.power_rho) < 0.75:
+            raise AssertionError(
+                f"{name}: prediction correlation collapsed "
+                f"(perf rho {acc.performance_rho:.3f}, "
+                f"power rho {acc.power_rho:.3f})"
+            )
+
+
 def report(result: Fig14Result) -> str:
     lines = [
         "Figure 14 — SpMV model accuracy per matrix "

@@ -1,0 +1,140 @@
+"""Cross-backend transfer demo — CPU-searched specs warm-start the GPU.
+
+The multi-backend question (ROADMAP: "Second timing backend +
+cross-backend model transfer"): the same applications are profiled on
+the OoO CPU interval model and the GPU warp-throughput model, a model
+specification is searched on the CPU data, and then:
+
+1. a **cold** genetic search runs on the GPU dataset from a random
+   population, while a **warm** search — identical hyperparameters and
+   seed — starts from the CPU search's final population.  The measured
+   quantity is *generations-to-target*: how many generations each arm
+   needs to reach the cold arm's final best fitness.
+2. the CPU-searched **specification** (variables, transforms,
+   interactions — not coefficients) is refit on the GPU data, and its
+   validation accuracy is compared against the natively searched spec:
+   the shared-representation transfer of Stevens & Klöckner / Li et al.
+
+The acceptance check fails the run (exit 1 via the ``check()``
+protocol) when warm-starting does not beat cold-starting, which is the
+observable claim ``BENCH_transfer.json`` gates in CI.
+
+Run with ``python -m repro.experiments transfer``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import transfer_search
+from repro.experiments.common import (
+    Scale,
+    build_general_dataset,
+    cached,
+    run_genetic_search,
+)
+
+#: Transfer-search sizing per scale: enough generations for the cold
+#: arm's trajectory to have a measurable shape, and three paired trials
+#: so the gate compares seed-aggregated totals rather than one lottery.
+TRANSFER_SIZES = {
+    "small": dict(population=10, generations=6, seed=5, pairs=3),
+    "bench": dict(population=20, generations=8, seed=5, pairs=3),
+    "full": dict(population=30, generations=10, seed=5, pairs=3),
+}
+
+
+def run(scale: Scale) -> Dict[str, object]:
+    sizes = TRANSFER_SIZES[scale.name]
+    train_cpu, val_cpu = build_general_dataset(scale, backend="cpu")
+    source = run_genetic_search(train_cpu, scale, tag="main")
+    train_gpu, val_gpu = build_general_dataset(scale, backend="gpu")
+
+    def build():
+        return transfer_search(
+            source,
+            train_gpu,
+            val_gpu,
+            source_backend="cpu",
+            target_backend="gpu",
+            population_size=sizes["population"],
+            generations=sizes["generations"],
+            seed=sizes["seed"],
+            pairs=sizes["pairs"],
+        )
+
+    key = (
+        f"transfer-v2|{scale.name}|{sizes['population']}|"
+        f"{sizes['generations']}|{sizes['seed']}|{sizes['pairs']}"
+    )
+    outcome = cached(key, build)
+    source_score = source.best_model(train_cpu).score(val_cpu)
+    return {
+        "scale": scale.name,
+        "generations": sizes["generations"],
+        "outcome": outcome,
+        "source_score": source_score,
+        "n_gpu_train": len(train_gpu),
+        "n_gpu_val": len(val_gpu),
+    }
+
+
+def report(result: Dict[str, object]) -> str:
+    outcome = result["outcome"]
+    lines = [
+        "Cross-backend transfer (cpu -> gpu)",
+        f"  GPU dataset: {result['n_gpu_train']} train / "
+        f"{result['n_gpu_val']} validation records",
+        f"  source (cpu) model: median error "
+        f"{result['source_score']['median_error']:.3f}, "
+        f"rho {result['source_score']['correlation']:.3f}",
+        "",
+        f"  generations-to-target, total over {len(outcome.trials)} paired "
+        f"trials: cold {outcome.cold_generations}, "
+        f"warm {outcome.warm_generations} "
+        f"({outcome.generations_saved} saved, "
+        f"{outcome.speedup:.1f}x)",
+    ]
+    for t in outcome.trials:
+        lines.append(
+            f"    seed {t.seed}: target {t.target_fitness:.4f}  "
+            f"cold {t.cold_generations} gens -> {t.cold_final:.4f}  "
+            f"warm {t.warm_generations} gens -> {t.warm_final:.4f}"
+        )
+    lines += [
+        "",
+        "  first trial's cold trajectory: "
+        + " ".join(f"{r.best_fitness:.4f}" for r in outcome.cold.history),
+        "  first trial's warm trajectory: "
+        + " ".join(f"{r.best_fitness:.4f}" for r in outcome.warm.history),
+        "",
+        "  shared-representation spec (cpu-searched, gpu-refit): "
+        f"median error {outcome.shared_spec_score['median_error']:.3f}, "
+        f"rho {outcome.shared_spec_score['correlation']:.3f}",
+        "  natively searched spec (gpu):                        "
+        f"median error {outcome.native_spec_score['median_error']:.3f}, "
+        f"rho {outcome.native_spec_score['correlation']:.3f}",
+    ]
+    return "\n".join(lines)
+
+
+def check(result: Dict[str, object]) -> None:
+    """Warm-start must beat cold-start in generations-to-target, and the
+    transferred representation must remain a usable GPU predictor."""
+    outcome = result["outcome"]
+    assert outcome.warm_generations < outcome.cold_generations, (
+        f"warm start did not beat cold start: warm totalled "
+        f"{outcome.warm_generations} generations-to-target over "
+        f"{len(outcome.trials)} trials, cold {outcome.cold_generations}"
+    )
+    wins = sum(
+        t.warm_generations < t.cold_generations for t in outcome.trials
+    )
+    assert wins * 2 > len(outcome.trials), (
+        f"warm start won only {wins}/{len(outcome.trials)} paired trials"
+    )
+    shared = outcome.shared_spec_score
+    assert shared["correlation"] >= 0.5, (
+        f"shared-representation spec no longer ranks GPU designs "
+        f"(rho {shared['correlation']:.3f} < 0.5)"
+    )

@@ -82,13 +82,20 @@ def build_service(
     batch_config: Optional[BatchConfig] = None,
     min_update_profiles: int = 10,
     request_deadline_s: float = 30.0,
+    backend: str = "cpu",
 ) -> Tuple[PredictionServer, ServingManager, ModelRegistry]:
     """Train, publish, and assemble a ready-to-start server.
 
     The caller still runs the asyncio lifecycle (``await server.start()``
     / ``serve_forever``); everything up to that — genetic bootstrap
     (§3.2), registry publish, slot load, manager wiring — happens here.
+    ``backend`` names the timing backend the profiles came from; it must
+    be registered in :mod:`repro.uarch.backends` and flows into registry
+    metadata, stats payloads, and prometheus labels.
     """
+    from repro.uarch.backends import get_backend
+
+    get_backend(backend)  # reject unknown names before anything is built
     search = GeneticSearch(population_size=population_size, seed=seed)
     manager = ModelManager(
         dataset,
@@ -102,7 +109,7 @@ def build_service(
     registry = ModelRegistry(registry_root)
     slot = ModelSlot()
     serving = ServingManager(
-        manager, registry, ModelKey(space, application), slot
+        manager, registry, ModelKey(space, application), slot, backend=backend
     )
     serving.publish_initial(
         metadata={
@@ -118,6 +125,7 @@ def build_service(
         batch_config=batch_config,
         manager=serving,
         request_deadline_s=request_deadline_s,
+        backend=backend,
     )
     return server, serving, registry
 

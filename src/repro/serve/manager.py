@@ -93,11 +93,15 @@ class ServingManager:
         registry: ModelRegistry,
         key: ModelKey,
         slot: ModelSlot,
+        backend: str = "cpu",
     ):
         self.manager = manager
         self.registry = registry
         self.key = key
         self.slot = slot
+        #: Timing backend this model's profiles came from; stamped into
+        #: every registry publish and reported by ``stats``.
+        self.backend = backend
         self.stats = UpdateStats()
         # Export the health gauge from boot, not first failure: a scrape
         # that has never seen serve.update_last_error cannot alert on it.
@@ -132,7 +136,9 @@ class ServingManager:
         if self.manager.model is None:
             raise RuntimeError("train() the ModelManager before serving it")
         receipt = self.registry.publish(
-            self.key, self.manager.model, metadata=metadata
+            self.key,
+            self.manager.model,
+            metadata={"backend": self.backend, **(metadata or {})},
         )
         self.slot.swap(receipt.version, self.manager.model)
         self.stats.last_published_version = receipt.version
@@ -320,6 +326,7 @@ class ServingManager:
             self.stream.model,
             metadata={
                 "trigger": trigger,
+                "backend": self.backend,
                 "n_records": len(self.stream.dataset),
                 "drift_score": self.stream.detector.score(),
             },
@@ -388,6 +395,7 @@ class ServingManager:
                 model,
                 metadata={
                     "trigger": "online-update",
+                    "backend": self.backend,
                     "steady_state_error": self.manager.steady_state_error,
                     "n_records": len(self.manager.dataset),
                 },
@@ -421,6 +429,7 @@ class ServingManager:
 
     def stats_dict(self) -> Dict[str, object]:
         stats = {
+            "backend": self.backend,
             "observations": self.stats.observations,
             "absorbed": self.stats.absorbed,
             "updates_started": self.stats.updates_started,

@@ -144,6 +144,7 @@ class PredictionServer:
         manager=None,
         request_deadline_s: float = 30.0,
         reuse_port: bool = False,
+        backend: str = "cpu",
     ):
         if request_deadline_s <= 0:
             raise ValueError("request_deadline_s must be > 0")
@@ -151,6 +152,9 @@ class PredictionServer:
         self.host = host
         self.port = port
         self.reuse_port = reuse_port
+        #: Which timing backend produced the profiles this model serves;
+        #: tags ``info``/``stats`` payloads and prometheus series.
+        self.backend = backend
         self.manager = manager  # Optional[ServingManager], wired by serve.manager
         self.batcher = MicroBatcher(slot, batch_config)
         self.request_deadline_s = request_deadline_s
@@ -367,6 +371,7 @@ class PredictionServer:
         return {
             "ok": True,
             "model_version": version,
+            "backend": self.backend,
             "variables": list(model.variable_names),
             "n_terms": model.n_terms,
             "response": model.response,
@@ -426,7 +431,8 @@ class PredictionServer:
 
     def _op_metrics(self, request: dict) -> dict:
         if request.get("format") == "prometheus":
-            return {"ok": True, "format": "prometheus", "text": obs.prometheus_dump()}
+            text = obs.prometheus_dump(labels={"backend": self.backend})
+            return {"ok": True, "format": "prometheus", "text": text}
         return {"ok": True, "format": "snapshot", "metrics": obs.snapshot()}
 
     def _op_stats(self) -> dict:

@@ -196,6 +196,7 @@ class ShardServer(PredictionServer):
         batch_config: Optional[BatchConfig] = None,
         manager=None,
         request_deadline_s: float = 30.0,
+        backend: str = "cpu",
     ):
         super().__init__(
             slot,
@@ -205,6 +206,7 @@ class ShardServer(PredictionServer):
             manager=manager,
             request_deadline_s=request_deadline_s,
             reuse_port=reuse_port,
+            backend=backend,
         )
         self.shard_id = shard_id
         self.registry = registry
@@ -287,7 +289,9 @@ class ShardServer(PredictionServer):
 
     def _op_metrics(self, request: dict) -> dict:
         if request.get("format") == "prometheus":
-            text = obs.prometheus_dump(labels={"shard": str(self.shard_id)})
+            text = obs.prometheus_dump(
+                labels={"shard": str(self.shard_id), "backend": self.backend}
+            )
             return {"ok": True, "format": "prometheus", "text": text}
         return {
             "ok": True,
@@ -314,6 +318,7 @@ class _WorkerSpec:
     control_port: int
     batch_config: Optional[BatchConfig]
     request_deadline_s: float
+    backend: str = "cpu"
 
 
 def _shard_worker_main(spec: _WorkerSpec, ready_conn) -> None:
@@ -345,6 +350,7 @@ def _shard_worker_main(spec: _WorkerSpec, ready_conn) -> None:
         batch_config=spec.batch_config,
         manager=_ObserveProxy("127.0.0.1", spec.control_port),
         request_deadline_s=spec.request_deadline_s,
+        backend=spec.backend,
     )
     obs.gauge("serve.model_version").set(version)
     obs.gauge("shard.id").set(spec.shard_id)
@@ -552,6 +558,9 @@ class ShardSupervisor:
         self.serving = serving
         self.registry = serving.registry
         self.key = serving.key
+        # The fleet serves what the learner trained on: one backend tag,
+        # propagated from the ServingManager into every worker.
+        self.backend = getattr(serving, "backend", "cpu")
         self.registry_root = str(registry_root)
         self.n_shards = n_shards
         self.host = host
@@ -567,7 +576,11 @@ class ShardSupervisor:
         self.respawns = 0
 
         self._control_server = control_server or PredictionServer(
-            serving.slot, host="127.0.0.1", port=0, manager=serving
+            serving.slot,
+            host="127.0.0.1",
+            port=0,
+            manager=serving,
+            backend=self.backend,
         )
         self._control_thread: Optional[ServerThread] = None
         self._router: Optional[ShardRouter] = None
@@ -674,6 +687,7 @@ class ShardSupervisor:
             control_port=self.control_port,
             batch_config=self.batch_config,
             request_deadline_s=self.request_deadline_s,
+            backend=self.backend,
         )
         parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
         process = multiprocessing.Process(
@@ -882,9 +896,12 @@ class ShardSupervisor:
         """The whole fleet in Prometheus text format, ``shard``-labeled."""
         snapshots, _ = self.fleet_metrics()
         series = [
-            ({"shard": str(shard_id)}, snapshot) for shard_id, snapshot in snapshots
+            ({"shard": str(shard_id), "backend": self.backend}, snapshot)
+            for shard_id, snapshot in snapshots
         ]
-        series.append(({"shard": "supervisor"}, obs.snapshot()))
+        series.append(
+            ({"shard": "supervisor", "backend": self.backend}, obs.snapshot())
+        )
         return prometheus_text_multi(series)
 
     def flush_metrics(self, path: Union[str, Path]) -> Path:
@@ -920,6 +937,7 @@ def build_sharded_service(
     min_update_profiles: int = 10,
     request_deadline_s: float = 30.0,
     max_respawns: int = 16,
+    backend: str = "cpu",
 ) -> ShardSupervisor:
     """Train, publish, and assemble an (unstarted) shard supervisor.
 
@@ -942,6 +960,7 @@ def build_sharded_service(
         batch_config=batch_config,
         min_update_profiles=min_update_profiles,
         request_deadline_s=request_deadline_s,
+        backend=backend,
     )
     return ShardSupervisor(
         serving,

@@ -21,6 +21,28 @@ from repro.uarch.shardstats import ShardStats, compute_shard_stats
 from repro.uarch.cachemodel import expected_misses, miss_counts_hierarchy
 from repro.uarch.pipeline import CycleBreakdown, cycle_breakdown, simulate_cpi
 from repro.uarch.simulator import Simulator
+from repro.uarch.gpu import (
+    GpuConfig,
+    GpuSimulator,
+    GPU_HARDWARE_VARIABLE_LABELS,
+    GPU_MEMORY_LATENCY,
+    gpu_config_from_levels,
+    gpu_design_space_size,
+    gpu_occupancy,
+    gpu_cycle_breakdown,
+    reference_gpu_config,
+    sample_gpu_configs,
+    simulate_gpu_cpi,
+    warps_in_flight,
+)
+from repro.uarch.backends import (
+    Backend,
+    BackendEvaluation,
+    BackendUnavailableError,
+    BACKEND_NAMES,
+    GuardedBackend,
+    get_backend,
+)
 from repro.uarch.tuning import ArchitectureSearch, SearchOutcome, random_search_baseline
 from repro.uarch.detailed import DetailedSimulator, DetailedResult, detailed_cpi
 
@@ -42,6 +64,24 @@ __all__ = [
     "cycle_breakdown",
     "simulate_cpi",
     "Simulator",
+    "GpuConfig",
+    "GpuSimulator",
+    "GPU_HARDWARE_VARIABLE_LABELS",
+    "GPU_MEMORY_LATENCY",
+    "gpu_config_from_levels",
+    "gpu_design_space_size",
+    "gpu_occupancy",
+    "gpu_cycle_breakdown",
+    "reference_gpu_config",
+    "sample_gpu_configs",
+    "simulate_gpu_cpi",
+    "warps_in_flight",
+    "Backend",
+    "BackendEvaluation",
+    "BackendUnavailableError",
+    "BACKEND_NAMES",
+    "GuardedBackend",
+    "get_backend",
     "ArchitectureSearch",
     "SearchOutcome",
     "random_search_baseline",

@@ -1,0 +1,150 @@
+"""Timing-backend registry and guarded backend evaluation.
+
+The repo now carries two timing backends over the same trace/statistics
+substrate — the OoO CPU interval model and the GPU warp-throughput
+model.  Everything that profiles workloads, builds datasets, or searches
+design spaces selects one through this registry instead of importing a
+concrete simulator, which is what makes the serving tier genuinely
+multi-backend (ROADMAP: "Second timing backend + cross-backend model
+transfer").
+
+:class:`GuardedBackend` is the production seam for *online* backend
+evaluation: it runs the (potentially expensive, potentially faulty)
+simulator pass under the ``uarch.backend`` fault site and degrades to
+the last successful result on any failure, so a broken backend
+evaluation never poisons a serving or re-tuning loop — the same
+last-good contract as :class:`repro.stream.retune.OnlineRetuner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import faults, obs
+from repro.uarch import config as cpu_config
+from repro.uarch import gpu
+from repro.uarch.simulator import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class Backend:
+    """Everything a driver needs to target one timing backend."""
+
+    name: str
+    make_simulator: Callable[[], Simulator]
+    config_from_levels: Callable[[Sequence[int]], object]
+    sample_configs: Callable[[int, np.random.Generator], List[object]]
+    reference_config: Callable[[], object]
+    level_counts: Tuple[int, ...]
+    design_space_size: int
+    hardware_labels: Dict[str, str]
+    #: Level dimensions where raising the level adds resources and must
+    #: never increase the modeled cycle count (used by the contract suite).
+    better_dims: Tuple[int, ...]
+
+
+BACKENDS: Dict[str, Backend] = {
+    "cpu": Backend(
+        name="cpu",
+        make_simulator=Simulator,
+        config_from_levels=cpu_config.config_from_levels,
+        sample_configs=cpu_config.sample_configs,
+        reference_config=cpu_config.reference_config,
+        level_counts=cpu_config._LEVEL_COUNTS,
+        design_space_size=cpu_config.design_space_size(),
+        hardware_labels=cpu_config.HARDWARE_VARIABLE_LABELS,
+        better_dims=(3, 4, 5, 6),  # MSHRs, D$, I$, L2 size
+    ),
+    "gpu": Backend(
+        name="gpu",
+        make_simulator=gpu.GpuSimulator,
+        config_from_levels=gpu.gpu_config_from_levels,
+        sample_configs=gpu.sample_gpu_configs,
+        reference_config=gpu.reference_gpu_config,
+        level_counts=gpu._GPU_LEVEL_COUNTS,
+        design_space_size=gpu.gpu_design_space_size(),
+        hardware_labels=gpu.GPU_HARDWARE_VARIABLE_LABELS,
+        # SMs, warp slots, regfile, smem, L1, I$, L2, DRAM bw, coalescing
+        # segment, memory queue, SFUs.
+        better_dims=(0, 1, 2, 3, 4, 5, 6, 8, 9, 11, 12),
+    ),
+}
+
+BACKEND_NAMES: Tuple[str, ...] = tuple(BACKENDS)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name (``"cpu"`` or ``"gpu"``)."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(BACKENDS)}"
+        ) from None
+
+
+@dataclasses.dataclass
+class BackendEvaluation:
+    """One guarded evaluation: per-shard CPIs plus provenance."""
+
+    backend: str
+    config_key: str
+    cpis: np.ndarray
+    fresh: bool          # False when this is a degraded last-good replay
+
+
+class BackendUnavailableError(RuntimeError):
+    """A backend evaluation failed before any last-good result existed."""
+
+
+class GuardedBackend:
+    """Fault-isolated backend evaluation with last-good degradation.
+
+    ``evaluate`` runs the backend simulator over a batch of shards under
+    the ``uarch.backend`` fault site.  On success the result becomes the
+    new last-good; on *any* failure the previous last-good result is
+    replayed (marked ``fresh=False``) so callers — serving observation
+    loops, online re-tuners — keep answering.  Only a failure before the
+    first success raises, as there is nothing safe to degrade to.
+    """
+
+    def __init__(self, backend: str = "cpu"):
+        self.backend = get_backend(backend)
+        self.simulator = self.backend.make_simulator()
+        self.failures = 0
+        self.evaluations = 0
+        self.last_error: Optional[str] = None
+        self._last_good: Optional[BackendEvaluation] = None
+
+    def evaluate(self, shards: Sequence, config) -> BackendEvaluation:
+        """Per-shard CPIs of ``shards`` on ``config``, degrading on failure."""
+        try:
+            faults.site("uarch.backend")
+            stats = self.simulator.stats_for_many(shards)
+            cpis = np.array(
+                [self.simulator.cpi_from_stats(st, config) for st in stats],
+                dtype=float,
+            )
+            result = BackendEvaluation(
+                backend=self.backend.name,
+                config_key=config.key,
+                cpis=cpis,
+                fresh=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - degrade on anything
+            self.failures += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            obs.counter("uarch.backend_failures").inc()
+            if self._last_good is None:
+                raise BackendUnavailableError(
+                    f"{self.backend.name} backend evaluation failed with no "
+                    f"last-good result to degrade to: {self.last_error}"
+                ) from exc
+            return dataclasses.replace(self._last_good, fresh=False)
+        self.evaluations += 1
+        obs.counter("uarch.backend_evaluations").inc()
+        self._last_good = result
+        return result

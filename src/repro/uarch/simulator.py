@@ -58,19 +58,40 @@ class Simulator:
                 self._stats[shard.name] = stats
         return [self._stats[s.name] for s in shards]
 
+    def cpi_from_stats(self, stats: ShardStats, config: PipelineConfig) -> float:
+        """CPI of pre-computed shard statistics on one configuration.
+
+        Backends override this one method (plus :meth:`breakdown_from_stats`
+        and :meth:`cpi_batch_from_stats`) to swap the timing model while
+        keeping the caching/batching entry points identical.
+        """
+        return simulate_cpi(stats, config)
+
+    def cpi_batch_from_stats(
+        self, stats: ShardStats, configs: Sequence[PipelineConfig]
+    ) -> np.ndarray:
+        """CPI of pre-computed statistics on many configs (batched)."""
+        return simulate_cpi_batch(stats, configs)
+
+    def breakdown_from_stats(
+        self, stats: ShardStats, config: PipelineConfig
+    ) -> CycleBreakdown:
+        """Cycle-component breakdown of pre-computed statistics."""
+        return cycle_breakdown(stats, config)
+
     def cpi(self, shard: Trace, config: PipelineConfig) -> float:
         """Cycles per instruction of ``shard`` on ``config``."""
-        return simulate_cpi(self.stats_for(shard), config)
+        return self.cpi_from_stats(self.stats_for(shard), config)
 
     def cpi_batch(
         self, shard: Trace, configs: Sequence[PipelineConfig]
     ) -> np.ndarray:
         """CPI of ``shard`` on many configs (batched miss model)."""
-        return simulate_cpi_batch(self.stats_for(shard), configs)
+        return self.cpi_batch_from_stats(self.stats_for(shard), configs)
 
     def breakdown(self, shard: Trace, config: PipelineConfig) -> CycleBreakdown:
         """Cycle-component breakdown of ``shard`` on ``config``."""
-        return cycle_breakdown(self.stats_for(shard), config)
+        return self.breakdown_from_stats(self.stats_for(shard), config)
 
     def cpi_matrix(
         self,
@@ -81,7 +102,7 @@ class Simulator:
         stats = self.stats_for_many(shards)
         out = np.empty((len(shards), len(configs)), dtype=float)
         for i, st in enumerate(stats):
-            out[i, :] = simulate_cpi_batch(st, configs)
+            out[i, :] = self.cpi_batch_from_stats(st, configs)
         return out
 
     def application_cpi(

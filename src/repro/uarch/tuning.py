@@ -47,6 +47,10 @@ class ArchitectureSearch:
         application average) being tuned for.
     objective:
         ``"min"`` (default: minimize predicted CPI) or ``"max"``.
+    backend:
+        Which timing backend's design-space lattice to climb (``"cpu"``
+        or ``"gpu"``); the model must have been fitted on data from the
+        same backend.
     """
 
     def __init__(
@@ -54,12 +58,18 @@ class ArchitectureSearch:
         model: InferredModel,
         x: np.ndarray,
         objective: str = "min",
+        backend: str = "cpu",
     ):
+        from repro.uarch.backends import get_backend
+
         if objective not in ("min", "max"):
             raise ValueError(f"objective must be 'min' or 'max', got {objective!r}")
         self.model = model
         self.x = np.asarray(x, dtype=float)
         self.sign = 1.0 if objective == "min" else -1.0
+        self.backend = get_backend(backend)
+        self._level_counts = self.backend.level_counts
+        self._config_from_levels = self.backend.config_from_levels
         self._n_predictions = 0
 
     # -- prediction helpers ---------------------------------------------------------
@@ -76,28 +86,28 @@ class ArchitectureSearch:
     def climb(self, start_levels: Sequence[int]) -> Tuple[PipelineConfig, float]:
         """Hill-climb from one starting point to a local optimum."""
         levels = list(start_levels)
-        current = config_from_levels(levels)
+        current = self._config_from_levels(levels)
         current_score = self._score(current)
         improved = True
         while improved:
             improved = False
             best_neighbor = None
             best_score = current_score
-            for dim, count in enumerate(_LEVEL_COUNTS):
+            for dim, count in enumerate(self._level_counts):
                 for delta in (-1, +1):
                     level = levels[dim] + delta
                     if not 0 <= level < count:
                         continue
                     candidate = list(levels)
                     candidate[dim] = level
-                    config = config_from_levels(candidate)
+                    config = self._config_from_levels(candidate)
                     score = self._score(config)
                     if score < best_score - 1e-12:
                         best_score = score
                         best_neighbor = candidate
             if best_neighbor is not None:
                 levels = best_neighbor
-                current = config_from_levels(levels)
+                current = self._config_from_levels(levels)
                 current_score = best_score
                 improved = True
         return current, self.sign * current_score
@@ -113,7 +123,7 @@ class ArchitectureSearch:
         self._n_predictions = 0
         trajectory: List[Tuple[PipelineConfig, float]] = []
         for _ in range(n_restarts):
-            start = [int(rng.integers(0, count)) for count in _LEVEL_COUNTS]
+            start = [int(rng.integers(0, count)) for count in self._level_counts]
             local_best, value = self.climb(start)
             trajectory.append((local_best, value))
         best_config, best_value = min(

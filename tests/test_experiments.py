@@ -187,8 +187,156 @@ class TestCLI:
 
         # Every paper artifact with data has a CLI entry (13 paper
         # artifacts + the ablation suite, the memory extension, the
-        # serving demo, and the streaming + retuning demos).
-        assert len(EXPERIMENTS) == 18
+        # serving demo, the streaming + retuning demos, and the
+        # cross-backend transfer demo).
+        assert len(EXPERIMENTS) == 19
+        assert "transfer" in EXPERIMENTS
+
+
+class TestFigureChecks:
+    """Acceptance checks of the figure demos (the backend/transfer PR
+    gave every headline demo a ``check()`` that must catch regressions)."""
+
+    def _trend_result(self, **overrides):
+        from repro.experiments.fig12_13_trends import TrendResult
+
+        base = dict(
+            by_brow={r: 25.0 for r in range(1, 9)},
+            by_bcol={c: 25.0 for c in range(1, 9)},
+            by_fill_bin={"[1.00,1.05)": 30.0, "[2.00,inf)": 16.0},
+            by_line={16: 20.0, 32: 30.0, 64: 45.0, 128: 60.0},
+            by_dsize={4: 24.0, 8: 24.5},
+            by_dways={1: 23.0, 2: 24.2, 4: 24.4, 8: 24.3},
+            by_drepl={"LRU": 24.3},
+            n_samples=100,
+        )
+        base.update(overrides)
+        return TrendResult(**base)
+
+    def test_fig12_13_check_passes_on_paper_shapes(self):
+        from repro.experiments import fig12_13_trends
+
+        fig12_13_trends.check(self._trend_result())
+
+    def test_fig12_13_check_catches_broken_line_trend(self):
+        from repro.experiments import fig12_13_trends
+
+        regressed = self._trend_result(
+            by_line={16: 60.0, 32: 45.0, 64: 30.0, 128: 20.0}
+        )
+        with pytest.raises(AssertionError, match="line-size trend"):
+            fig12_13_trends.check(regressed)
+
+    def test_fig12_13_check_catches_missing_fill_penalty(self):
+        from repro.experiments import fig12_13_trends
+
+        regressed = self._trend_result(
+            by_fill_bin={"[1.00,1.05)": 16.0, "[2.00,inf)": 30.0}
+        )
+        with pytest.raises(AssertionError, match="fill-ratio"):
+            fig12_13_trends.check(regressed)
+
+    def test_fig12_13_check_catches_associativity_cliff(self):
+        from repro.experiments import fig12_13_trends
+
+        regressed = self._trend_result(
+            by_dways={1: 20.0, 2: 24.0, 4: 28.0, 8: 32.0}
+        )
+        with pytest.raises(AssertionError, match="associativity"):
+            fig12_13_trends.check(regressed)
+
+    def _fig14_result(self, perf_median=0.05, power_median=0.06, rho=0.95):
+        from repro.core import BoxplotStats
+        from repro.experiments.fig14_spmv import Fig14Result, MatrixAccuracy
+
+        stats_p = BoxplotStats.from_errors(np.full(20, perf_median))
+        stats_w = BoxplotStats.from_errors(np.full(20, power_median))
+        acc = MatrixAccuracy(
+            performance=stats_p,
+            power=stats_w,
+            performance_rho=rho,
+            power_rho=rho,
+        )
+        return Fig14Result(
+            per_matrix={"3dtube": acc, "bayer02": acc},
+            median_of_medians_perf=perf_median,
+            median_of_medians_power=power_median,
+        )
+
+    def test_fig14_check_passes_in_paper_band(self):
+        from repro.experiments import fig14_spmv
+
+        fig14_spmv.check(self._fig14_result())
+
+    def test_fig14_check_catches_median_drift(self):
+        from repro.experiments import fig14_spmv
+
+        with pytest.raises(AssertionError, match="median-of-medians"):
+            fig14_spmv.check(self._fig14_result(perf_median=0.15))
+
+    def test_fig14_check_catches_correlation_collapse(self):
+        from repro.experiments import fig14_spmv
+
+        with pytest.raises(AssertionError, match="correlation collapsed"):
+            fig14_spmv.check(self._fig14_result(rho=0.3))
+
+    def test_fig14_failed_check_exits_nonzero(self, tmp_cache, capsys, monkeypatch):
+        from repro.experiments import fig14_spmv
+        from repro.experiments.__main__ import main
+
+        regressed = self._fig14_result(perf_median=0.4, power_median=0.5)
+        monkeypatch.setattr(fig14_spmv, "run", lambda scale: regressed)
+        assert main(["fig14", "--scale", "small", "--report-dir", "-"]) == 1
+        assert "FAILED check" in capsys.readouterr().err
+
+
+class TestServeBootstrapCheck:
+    """The serve CLI must refuse to come up on a failed bootstrap."""
+
+    def _fake_service(self, error, backend="cpu"):
+        from types import SimpleNamespace
+
+        serving = SimpleNamespace(
+            manager=SimpleNamespace(steady_state_error=error),
+            slot=SimpleNamespace(version=1),
+            stats_dict=lambda: {"backend": backend},
+            close=lambda: None,
+        )
+        return SimpleNamespace(port=0), serving, None
+
+    def test_unusable_bootstrap_model_exits_nonzero(self, capsys, monkeypatch):
+        import repro.serve
+
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setattr(
+            repro.serve,
+            "build_service",
+            lambda *a, **k: self._fake_service(error=0.9),
+        )
+        assert main(["serve", "--port", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED check" in err and "steady-state" in err
+
+    def test_lost_backend_tag_exits_nonzero(self, capsys, monkeypatch):
+        import repro.serve
+
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setattr(
+            repro.serve,
+            "build_service",
+            lambda *a, **k: self._fake_service(error=0.01, backend="mystery"),
+        )
+        assert main(["serve", "--port", "0", "--backend", "gpu"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED check" in err and "backend tag" in err
+
+    def test_check_accepts_healthy_bootstrap(self):
+        from repro.experiments.__main__ import _check_bootstrap
+
+        _, serving, _ = self._fake_service(error=0.01, backend="gpu")
+        _check_bootstrap(serving, "gpu")
 
 
 class TestExamplesCompile:

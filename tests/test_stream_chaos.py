@@ -372,3 +372,132 @@ class TestRetuneFaults:
         assert proc.returncode == 0
         assert "deployed " in proc.stdout
         assert "retuned" in proc.stdout
+
+
+# -- uarch.backend: guarded backend evaluation degrades to last-good -------------------
+
+
+def _tiny_shards(n_shards=2, n=300, seed=11):
+    """A couple of cheap synthetic trace shards for backend evaluation."""
+    from repro.isa import OpClass, Trace, empty_trace
+
+    rng = np.random.default_rng(seed)
+    shards = []
+    for k in range(n_shards):
+        data = empty_trace(n)
+        data["op"] = rng.choice(
+            [int(OpClass.INT_ALU), int(OpClass.MEMORY), int(OpClass.CONTROL)],
+            size=n,
+            p=[0.6, 0.3, 0.1],
+        )
+        mem = data["op"] == int(OpClass.MEMORY)
+        data["addr"][mem] = rng.integers(0, 500, size=int(mem.sum())) * 64
+        data["iaddr"] = (np.arange(n) * 4) % 2048
+        data["dep"] = rng.integers(0, 6, size=n)
+        shards.append(Trace(data, f"chaos-backend-{seed}-{k}"))
+    return shards
+
+
+class TestBackendFaults:
+    @pytest.mark.parametrize("backend", ["cpu", "gpu"])
+    def test_backend_fault_replays_last_good(self, backend):
+        """A faulted evaluation replays the previous result (marked
+        ``fresh=False``) instead of poisoning the caller; the fault is
+        visible in the failure counters and the next call is fresh."""
+        from repro.uarch import GuardedBackend
+
+        guard = GuardedBackend(backend)
+        rng = np.random.default_rng(3)
+        good_cfg, other_cfg = guard.backend.sample_configs(2, rng)
+        shards = _tiny_shards()
+        primed = guard.evaluate(shards, good_cfg)
+        assert primed.fresh and primed.config_key == good_cfg.key
+
+        plan = FaultPlan.parse("uarch.backend=raise@1", seed=CHAOS_SEED)
+        with faults.armed(plan):
+            degraded = guard.evaluate(shards, other_cfg)
+        assert plan.injected_counts() == [1]
+        assert degraded.fresh is False
+        assert degraded.backend == backend
+        # The replay answers with the *last-good* configuration's CPIs,
+        # not the one that was asked for — callers can tell from the key.
+        assert degraded.config_key == good_cfg.key
+        np.testing.assert_array_equal(degraded.cpis, primed.cpis)
+        assert guard.failures == 1
+        assert guard.last_error.startswith("InjectedFault")
+
+        # Fault exhausted: the next evaluation is fresh and becomes the
+        # new last-good.
+        after = guard.evaluate(shards, other_cfg)
+        assert after.fresh and after.config_key == other_cfg.key
+        assert guard.evaluations == 2
+
+    def test_backend_fault_before_first_success_raises(self):
+        """No last-good yet means there is nothing safe to degrade to."""
+        from repro.uarch import GuardedBackend
+        from repro.uarch.backends import BackendUnavailableError
+
+        guard = GuardedBackend("gpu")
+        plan = FaultPlan.parse("uarch.backend=raise@1", seed=CHAOS_SEED)
+        with faults.armed(plan):
+            with pytest.raises(BackendUnavailableError):
+                guard.evaluate(_tiny_shards(), guard.backend.reference_config())
+        assert guard.failures == 1 and guard.evaluations == 0
+
+    KILL_CODE = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.isa import OpClass, Trace, empty_trace
+        from repro.uarch import GuardedBackend
+
+        rng = np.random.default_rng(11)
+        data = empty_trace(300)
+        data["op"] = rng.choice(
+            [int(OpClass.INT_ALU), int(OpClass.MEMORY), int(OpClass.CONTROL)],
+            size=300, p=[0.6, 0.3, 0.1],
+        )
+        mem = data["op"] == int(OpClass.MEMORY)
+        data["addr"][mem] = rng.integers(0, 500, size=int(mem.sum())) * 64
+        data["iaddr"] = (np.arange(300) * 4) % 2048
+        data["dep"] = rng.integers(0, 6, size=300)
+        shards = [Trace(data, "chaos-backend-kill")]
+
+        guard = GuardedBackend("gpu")
+        config = guard.backend.reference_config()
+        guard.evaluate(shards, config)
+        print("primed", flush=True)
+        guard.evaluate(shards, config)    # the armed kill lands here
+        print("second evaluation done", flush=True)
+        """
+    )
+
+    def _run_kill_scenario(self, fault_spec):
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        if fault_spec:
+            env["REPRO_FAULTS"] = f"{CHAOS_SEED}:{fault_spec}"
+        else:
+            env.pop("REPRO_FAULTS", None)
+        return subprocess.run(
+            [sys.executable, "-c", self.KILL_CODE],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_killed_backend_evaluation_dies_with_last_good_on_record(self):
+        """A kill inside the backend evaluation takes the process down
+        with the distinctive exit code after the first evaluation primed
+        the last-good — a supervisor respawn re-evaluates from scratch
+        rather than serving torn statistics."""
+        from repro.faults.plan import KILL_EXIT_CODE
+
+        proc = self._run_kill_scenario("uarch.backend=kill@2")
+        assert proc.returncode == KILL_EXIT_CODE
+        assert "primed" in proc.stdout
+        assert "second evaluation done" not in proc.stdout
+
+    def test_same_backend_scenario_completes_without_fault(self):
+        proc = self._run_kill_scenario(None)
+        assert proc.returncode == 0, proc.stderr
+        assert "primed" in proc.stdout
+        assert "second evaluation done" in proc.stdout

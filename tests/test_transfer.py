@@ -1,0 +1,159 @@
+"""Unit tests for cross-backend model transfer (repro.core.transfer).
+
+The end-to-end CPU→GPU study lives in the ``transfer`` demo and its
+benchmark; these tests pin the primitives — warm-start seeding order,
+generations-to-target accounting, the paired-trial aggregation, and the
+shape-compatibility guard — on a tiny synthetic space where the answers
+are known.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ProfileDataset, ProfileRecord
+from repro.core.genetic import GenerationRecord, GeneticSearch
+from repro.core.transfer import (
+    TransferOutcome,
+    TransferTrial,
+    generations_to_target,
+    shared_representation_score,
+    transfer_search,
+    warm_start_population,
+)
+
+X_NAMES = ("x1", "x2", "x3")
+Y_NAMES = ("y1", "y2")
+
+
+def _dataset(n=60, seed=0, shift=0.0):
+    """A small profile set whose response has known shared structure."""
+    rng = np.random.default_rng(seed)
+    ds = ProfileDataset(X_NAMES, Y_NAMES)
+    for _ in range(n):
+        x = rng.normal(size=3)
+        y = rng.uniform(0.5, 2.0, size=2)
+        z = 2.0 + 0.5 * x[0] + 0.8 * y[0] + (0.3 + shift) * x[0] * y[0]
+        ds.add(ProfileRecord("app0", x, y, float(np.exp(z / 4.0))))
+    return ds
+
+
+@pytest.fixture(scope="module")
+def source_result():
+    return GeneticSearch(population_size=8, seed=1).run(_dataset(seed=0), 3)
+
+
+class TestGenerationsToTarget:
+    def _history(self, fitnesses):
+        return [
+            GenerationRecord(g + 1, f, f, f)
+            for g, f in enumerate(fitnesses)
+        ]
+
+    def test_first_generation_reaching_target(self):
+        history = self._history([0.9, 0.5, 0.3, 0.3])
+        assert generations_to_target(history, 0.5) == 2
+
+    def test_exact_match_counts(self):
+        history = self._history([0.9, 0.5])
+        assert generations_to_target(history, 0.9) == 1
+
+    def test_never_reached_is_len_plus_one(self):
+        history = self._history([0.9, 0.8])
+        assert generations_to_target(history, 0.1) == 3
+
+
+class TestWarmStartPopulation:
+    def test_best_first_order(self, source_result):
+        seeding = warm_start_population(source_result)
+        ranked = [c for c, _ in source_result.ranked()]
+        assert seeding == ranked
+        assert seeding[0] == source_result.best_chromosome
+
+    def test_truncation_keeps_fittest(self, source_result):
+        seeding = warm_start_population(source_result, 3)
+        assert len(seeding) == 3
+        assert seeding[0] == source_result.best_chromosome
+
+
+class TestTransferSearch:
+    def test_paired_trials_aggregate(self, source_result):
+        outcome = transfer_search(
+            source_result,
+            _dataset(seed=5, shift=0.2),
+            _dataset(seed=6, shift=0.2),
+            source_backend="a",
+            target_backend="b",
+            population_size=8,
+            generations=2,
+            seed=11,
+            pairs=2,
+        )
+        assert isinstance(outcome, TransferOutcome)
+        assert [t.seed for t in outcome.trials] == [11, 12]
+        assert outcome.cold_generations == sum(
+            t.cold_generations for t in outcome.trials
+        )
+        assert outcome.warm_generations == sum(
+            t.warm_generations for t in outcome.trials
+        )
+        for trial in outcome.trials:
+            assert isinstance(trial, TransferTrial)
+            # The target is the cold arm's own final best, so the cold
+            # arm reaches it within its run by construction.
+            assert 1 <= trial.cold_generations <= 2
+            assert trial.target_fitness == trial.cold_final
+        assert outcome.source_backend == "a"
+        assert outcome.target_backend == "b"
+        assert outcome.generations_saved == (
+            outcome.cold_generations - outcome.warm_generations
+        )
+        assert outcome.speedup == outcome.cold_generations / max(
+            1, outcome.warm_generations
+        )
+        for score in (outcome.shared_spec_score, outcome.native_spec_score):
+            assert set(score) >= {"median_error", "correlation"}
+
+    def test_deterministic(self, source_result):
+        kwargs = dict(
+            population_size=8, generations=2, seed=11, pairs=1
+        )
+        a = transfer_search(
+            source_result, _dataset(seed=5), _dataset(seed=6), **kwargs
+        )
+        b = transfer_search(
+            source_result, _dataset(seed=5), _dataset(seed=6), **kwargs
+        )
+        assert a.trials == b.trials
+        assert a.shared_spec_score == b.shared_spec_score
+
+    def test_rejects_shape_mismatch(self, source_result):
+        narrow = ProfileDataset(("x1",), ("y1",))
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            narrow.add(
+                ProfileRecord("app0", rng.normal(size=1), rng.uniform(size=1), 1.0)
+            )
+        with pytest.raises(ValueError, match="shape-compatible"):
+            transfer_search(source_result, narrow, narrow)
+
+    def test_rejects_zero_pairs(self, source_result):
+        with pytest.raises(ValueError, match="at least one"):
+            transfer_search(
+                source_result,
+                _dataset(seed=5),
+                _dataset(seed=6),
+                pairs=0,
+            )
+
+
+class TestSharedRepresentation:
+    def test_refit_recovers_shared_structure(self, source_result):
+        """The response family is shared between the two synthetic
+        'backends', so the refit spec must predict the target well."""
+        score = shared_representation_score(
+            source_result,
+            _dataset(seed=5, shift=0.2),
+            _dataset(seed=6, shift=0.2),
+        )
+        assert score["median_error"] < 0.25
+        assert score["correlation"] > 0.5
